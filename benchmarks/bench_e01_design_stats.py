@@ -1,0 +1,54 @@
+"""E1 -- Design statistics (Section 3).
+
+Paper: "The DSC controller consists of 240K gates excluding memory
+macros ... There are 30 embedded memory macros in the controller ...
+implemented in TSMC 0.25um 1P5M CMOS process and packed in TFBGA256
+package."
+"""
+
+import pytest
+
+from repro.core import DesignServiceFlow
+from repro.ip import dsc_ip_catalog
+from repro.package import dsc_pad_ring, tfbga256
+
+from conftest import paper_row
+
+
+def build_and_assemble():
+    flow = DesignServiceFlow(scale=0.01, seed=1)
+    flow.intake()
+    flow.harden_cpu()
+    flow.assemble()
+    return flow
+
+
+def test_e01_design_statistics(benchmark):
+    flow = benchmark(build_and_assemble)
+    report = flow.report
+
+    paper_row("E1", "logic gates (excl. memories)", "240K",
+              f"{report.soc_gate_budget // 1000}K")
+    paper_row("E1", "embedded memory macros", "30",
+              str(report.soc_memory_macros))
+    package = tfbga256()
+    ring = dsc_pad_ring()
+    paper_row("E1", "package", "TFBGA256",
+              f"{package.name} ({len(package)} balls)")
+    paper_row("E1", "signals vs package capacity",
+              "fits", f"{len(ring)} <= {len(package.signal_balls())}")
+
+    assert report.soc_gate_budget == 240_000
+    assert report.soc_memory_macros == 30
+    assert len(package) == 256
+    assert len(ring) <= len(package.signal_balls())
+
+
+def test_e01_ip_inventory_matches_section2(benchmark):
+    catalog = benchmark(dsc_ip_catalog)
+    functions = " ".join(b.function for b in catalog)
+    # Every IP Section 2 lists must exist in the catalogue.
+    for keyword in ("RISC/DSP", "JPEG", "USB 1.1", "SD/MMC", "SDRAM",
+                    "LCD interface", "TV encoder", "10-bit video DAC",
+                    "8-bit LCD DAC", "PLL"):
+        assert keyword in functions, keyword

@@ -1,0 +1,61 @@
+"""E3 -- Memory BIST architecture (Section 3).
+
+Paper: "There are 30 embedded memory macros in the controller.  We use
+an in-house memory BIST circuit generator to insert one common BIST
+controller, multiple sequencers, and 30 pattern generators."
+
+Shape to reproduce: the shared architecture (1 controller, <30
+sequencers, 30 pattern generators) saves significant area vs a
+per-memory architecture at a bounded test-time cost; March C- achieves
+full coverage of the classical fault families it targets.
+"""
+
+from repro.netlist import make_default_library
+from repro.mbist import (
+    BistGenerator,
+    MARCH_C_MINUS,
+    dsc_memory_set,
+    measure_coverage,
+)
+
+from conftest import paper_row
+
+
+def test_e03_shared_bist_architecture(benchmark):
+    lib = make_default_library(0.25)
+    memories = dsc_memory_set()
+    generator = BistGenerator(lib)
+
+    shared = benchmark(generator.plan, memories, sharing="shared",
+                       max_parallel_groups=4)
+    dedicated = generator.plan(memories, sharing="per-memory")
+
+    paper_row("E3", "BIST controllers", "1 (common)",
+              str(shared.controllers))
+    paper_row("E3", "sequencers", "multiple",
+              str(shared.sequencers))
+    paper_row("E3", "pattern generators", "30",
+              str(shared.pattern_generators))
+    saving = 1 - shared.total_area_um2 / dedicated.total_area_um2
+    paper_row("E3", "area saving vs per-memory BIST", "(the motivation)",
+              f"{saving * 100:.0f}%")
+    paper_row("E3", "test-time cost of sharing", "bounded",
+              f"{shared.test_cycles / dedicated.test_cycles:.1f}x")
+
+    assert shared.controllers == 1
+    assert 1 < shared.sequencers < 30
+    assert shared.pattern_generators == 30
+    assert saving > 0.25
+    assert shared.test_cycles / dedicated.test_cycles < 4.0
+    assert shared.area_overhead_fraction < 0.05
+
+
+def test_e03_march_c_coverage(benchmark):
+    report = benchmark(
+        measure_coverage, MARCH_C_MINUS, words=48, bits=8,
+        trials_per_family=80, seed=3,
+    )
+    for family in ("SAF", "TF", "CFid", "CFin", "AF"):
+        paper_row("E3", f"March C- coverage of {family}", "100%",
+                  f"{report.coverage[family] * 100:.0f}%")
+        assert report.coverage[family] >= 0.95, family

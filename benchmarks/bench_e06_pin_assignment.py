@@ -1,0 +1,78 @@
+"""E6 -- Pin assignment and substrate layers (Section 3).
+
+Paper: "Because there is no automation tool available, we manually
+performed many version of pin assignments to reduce the number of
+substrate layers from four to two resulting in packaging cost saving."
+
+Shape to reproduce: the naive (function-grouped) assignment needs a
+4-layer substrate; optimisation reaches 2 layers; the per-unit
+substrate cost drops.  Ablation A1 compares greedy construction vs
+simulated annealing.
+"""
+
+from repro.package import (
+    angular_assignment,
+    assignment_quality,
+    dsc_pad_ring,
+    estimate_layers,
+    optimize_assignment,
+    scrambled_assignment,
+    substrate_cost_usd,
+    tfbga256,
+)
+
+from conftest import paper_row
+
+
+def optimize_from_scratch(seed: int = 1):
+    package, ring = tfbga256(), dsc_pad_ring()
+    initial = scrambled_assignment(package, ring, seed=seed)
+    optimized, report = optimize_assignment(
+        initial, iterations=3000, seed=seed, initial_temperature=0.3
+    )
+    return initial, optimized, report
+
+
+def test_e06_layers_four_to_two(benchmark):
+    initial, optimized, report = benchmark.pedantic(
+        optimize_from_scratch, iterations=1, rounds=1
+    )
+    layers_initial = estimate_layers(initial)
+    layers_final = estimate_layers(optimized)
+
+    paper_row("E6", "substrate layers before", "4", str(layers_initial))
+    paper_row("E6", "substrate layers after", "2", str(layers_final))
+    cost_before = substrate_cost_usd(layers_initial)
+    cost_after = substrate_cost_usd(layers_final)
+    paper_row("E6", "substrate cost saving/unit", "(packaging saving)",
+              f"${cost_before - cost_after:.2f}")
+    paper_row("E6", "crossings before -> after", "(driver)",
+              f"{report.initial.crossings} -> {report.final.crossings}")
+
+    assert layers_initial >= 4
+    assert layers_final <= 2
+    assert cost_after < cost_before
+    assert report.final.crossings < report.initial.crossings
+
+
+def test_e06_ablation_greedy_vs_annealing(benchmark):
+    """A1: constructive (greedy angular) vs annealed assignment."""
+    package, ring = tfbga256(), dsc_pad_ring()
+    greedy = benchmark.pedantic(
+        angular_assignment, args=(package, ring), iterations=1, rounds=1
+    )
+    greedy_quality = assignment_quality(greedy)
+
+    _, optimized, _ = optimize_from_scratch(seed=2)
+    annealed_quality = assignment_quality(optimized)
+
+    paper_row("E6", "greedy-constructed layers", "(ablation)",
+              str(greedy_quality.estimated_layers))
+    paper_row("E6", "annealed-from-scrambled layers", "(ablation)",
+              str(annealed_quality.estimated_layers))
+    # Both automated approaches beat the 4-layer manual start; greedy
+    # construction from scratch is the strongest (it is the tool the
+    # 2005 team lacked).
+    assert greedy_quality.estimated_layers <= 2
+    assert annealed_quality.estimated_layers <= 2
+    assert greedy_quality.crossings <= annealed_quality.crossings

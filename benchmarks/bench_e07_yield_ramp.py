@@ -1,0 +1,89 @@
+"""E7 -- Yield ramp (Section 3).
+
+Paper: "The mass production yield was enhanced from 82.7% initially to
+very close to foundry's yield model of 93.4% over a period of 8
+months."
+
+Shape to reproduce: start ~82.7%, end within a point of 93.4%, with
+the four measures (probe overdrive, relay settling, CD retarget via
+corner split, metal ECO) each contributing its own step.  Ablation A4
+toggles measures individually.
+"""
+
+import pytest
+
+from repro.manufacturing import (
+    DSC_DIE_AREA_MM2,
+    foundry_model_yield,
+    initial_ramp_state,
+    paper_measures,
+    simulate_ramp,
+)
+
+from conftest import paper_row
+
+
+def test_e07_ramp_trajectory(benchmark):
+    result = benchmark.pedantic(
+        simulate_ramp, kwargs=dict(seed=11), iterations=1, rounds=1
+    )
+    print()
+    print(result.format_report())
+
+    initial = result.expected_yield[0]
+    final = result.expected_yield[-1]
+    paper_row("E7", "initial production yield", "82.7%",
+              f"{initial * 100:.1f}%")
+    paper_row("E7", "foundry yield model", "93.4%",
+              f"{result.foundry_model_yield * 100:.1f}%")
+    paper_row("E7", "yield after 8 months", "~93.4%",
+              f"{final * 100:.1f}%")
+    paper_row("E7", "ramp duration", "8 months",
+              f"{result.months[-1]} months")
+
+    assert initial == pytest.approx(0.827, abs=0.012)
+    assert result.foundry_model_yield == pytest.approx(0.934, abs=0.005)
+    assert result.foundry_model_yield - final < 0.012
+    assert result.months[-1] == 8
+    # Monotone non-decreasing learning curve.
+    assert all(b >= a - 1e-9 for a, b in
+               zip(result.expected_yield, result.expected_yield[1:]))
+
+
+def _ablation_deficits():
+    full = simulate_ramp(seed=11).expected_yield[-1]
+    deficits = {}
+    for skipped in paper_measures():
+        kept = [m for m in paper_measures() if m.name != skipped.name]
+        deficits[skipped.name] = (
+            full - simulate_ramp(measures=kept, seed=11).expected_yield[-1]
+        )
+    return deficits
+
+
+def test_e07_ablation_each_measure_matters(benchmark):
+    """A4: skipping any single measure leaves yield on the table."""
+    deficits = benchmark.pedantic(_ablation_deficits, iterations=1, rounds=1)
+    for name, deficit in deficits.items():
+        paper_row("E7", f"deficit without '{name[:34]}'",
+                  "> 0", f"{deficit * 100:.1f} pts")
+        assert deficit > 0.005, name
+
+
+def test_e07_weak_buffer_is_the_biggest_single_loss(benchmark):
+    """The 5% yield killer dominates the individual measures."""
+    deficits = benchmark.pedantic(_ablation_deficits, iterations=1, rounds=1)
+    worst = max(deficits, key=deficits.get)
+    paper_row("E7", "largest single loss mechanism",
+              "weak output buffer (5%)", worst[:32])
+    assert "weak output buffer" in worst
+    assert deficits[worst] == pytest.approx(0.05, abs=0.015)
+
+
+def test_e07_foundry_model_is_entitlement(benchmark):
+    state = initial_ramp_state()
+    model = benchmark(foundry_model_yield, state, DSC_DIE_AREA_MM2)
+    measured = state.measured_yield(DSC_DIE_AREA_MM2)
+    paper_row("E7", "entitlement gap at month 0", "10.7 pts",
+              f"{(model - measured) * 100:.1f} pts")
+    assert model > measured

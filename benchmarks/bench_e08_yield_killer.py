@@ -1,0 +1,130 @@
+"""E8 -- The weak-output-buffer yield killer (Section 3).
+
+Paper: "manufacturing test uncovered that the yield killer (5% loss)
+was in the insufficient driving strength of an output buffer in the
+CPU ... We also corrected the insufficient driving strength problem by
+means of metal changes to utilize the spare cells."
+
+Shape to reproduce: a 5-point systematic yield loss attributable to
+one weak driver; the metal-only spare-cell ECO removes it at a small
+fraction of full-respin mask cost and turnaround.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist import counter, make_default_library
+from repro.eco import (
+    FULL_MASK_COST_USD,
+    sprinkle_spare_cells,
+    strengthen_driver_metal_only,
+)
+from repro.manufacturing import initial_ramp_state, DSC_DIE_AREA_MM2
+from repro.sta import TimingAnalyzer, TimingConstraints
+
+from conftest import paper_row
+
+
+def test_e08_five_percent_loss(benchmark):
+    state = initial_ramp_state()
+
+    def measure_loss():
+        with_bug = state.stack.expected_yield(DSC_DIE_AREA_MM2)
+        from dataclasses import replace
+
+        fixed_systematics = tuple(
+            replace(s, active=False) for s in state.stack.systematics
+        )
+        fixed_stack = replace(state.stack, systematics=fixed_systematics)
+        without_bug = fixed_stack.expected_yield(DSC_DIE_AREA_MM2)
+        return with_bug, without_bug
+
+    with_bug, without_bug = benchmark(measure_loss)
+    loss = 1 - with_bug / without_bug
+    paper_row("E8", "yield loss from weak output buffer", "5%",
+              f"{loss * 100:.1f}%")
+    assert loss == pytest.approx(0.05, abs=0.005)
+
+
+def test_e08_manufacturing_test_uncovers_the_killer(benchmark):
+    """'manufacturing test uncovered that the yield killer (5% loss)
+    was in the insufficient driving strength of an output buffer':
+    the failure Pareto flags the bin as systematic."""
+    import numpy as np
+    from repro.manufacturing import classify_failures, \
+        is_systematic_suspect
+
+    state = initial_ramp_state()
+
+    def run_pareto():
+        rng = np.random.default_rng(42)
+        return classify_failures(
+            state.stack,
+            die_area_mm2=DSC_DIE_AREA_MM2,
+            n_dies=40_000,
+            probe_overkill=state.probe.total_overkill(),
+            rng=rng,
+        )
+
+    pareto = benchmark.pedantic(run_pareto, iterations=1, rounds=1)
+    print()
+    print(pareto.format_report())
+    bin_item = pareto.bin_named("weak_output_buffer")
+    paper_row("E8", "weak-buffer bin, % of all dies", "5%",
+              f"{bin_item.fraction_of_all_dies * 100:.1f}%")
+    paper_row("E8", "flagged as systematic", "yes",
+              str(is_systematic_suspect(pareto, "weak_output_buffer")))
+    assert bin_item.fraction_of_all_dies == pytest.approx(0.05, abs=0.012)
+    assert is_systematic_suspect(pareto, "weak_output_buffer")
+
+
+def test_e08_metal_only_fix(benchmark):
+    lib = make_default_library(0.25)
+    module = counter("cpu_io_slice", lib, width=8)
+    module.add_port("pad", "output")
+    module.add_instance("weak_pad", "PAD_OUT_4MA", {"A": "q0", "PAD": "pad"})
+    plan = sprinkle_spare_cells(module, count=16)
+
+    report = benchmark.pedantic(
+        strengthen_driver_metal_only,
+        args=(module, plan, "weak_pad"),
+        kwargs=dict(description="fix 5% yield killer"),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(report.format_report())
+
+    paper_row("E8", "fix mechanism", "metal change + spare cells",
+              f"{report.spares_consumed} spare, metal-only")
+    paper_row("E8", "mask cost vs full respin",
+              f"${FULL_MASK_COST_USD:,.0f}",
+              f"${report.mask_cost_usd:,.0f}")
+    paper_row("E8", "turnaround vs full respin",
+              f"{report.full_respin_weeks:.0f} wk",
+              f"{report.turnaround_weeks:.0f} wk")
+
+    assert module.instances["weak_pad"].cell.name == "PAD_OUT_8MA"
+    assert report.mask_cost_usd < 0.25 * FULL_MASK_COST_USD
+    assert report.turnaround_weeks < report.full_respin_weeks / 2
+
+
+def test_e08_stronger_pad_is_electrically_better(benchmark):
+    """The fix works for a reason: the stronger pad has lower drive
+    resistance, so the output transition under load gets faster."""
+    lib = make_default_library(0.25)
+
+    def pad_delay(cell_name):
+        m = counter("c", lib, width=2)
+        m.add_port("pad", "output")
+        m.add_instance("io", cell_name, {"A": "q0", "PAD": "pad"})
+        analyzer = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=100_000),
+            net_wire_cap_ff={"pad": 2000.0},  # board trace load
+        )
+        return analyzer.stage_delay_ps(m.instances["io"])
+
+    weak = benchmark(pad_delay, "PAD_OUT_4MA")
+    strong = pad_delay("PAD_OUT_8MA")
+    paper_row("E8", "pad delay into board load", "improves",
+              f"{weak:.0f} -> {strong:.0f} ps")
+    assert strong < weak

@@ -1,0 +1,68 @@
+"""E9 -- Process migration (Section 4).
+
+Paper: "We have also migrated the chip from 0.25um process to 0.18um
+one achieving 20% saving in die cost."
+
+Shape to reproduce: ~20% cost-per-good-die saving, driven by the area
+shrink (logic shrinks fully, SRAM partially, analogue/IO barely)
+outrunning the higher 0.18 um wafer price.
+"""
+
+import pytest
+
+from repro.manufacturing import (
+    DSC_CONTENT_025,
+    NODE_018,
+    NODE_025,
+    migrate_content,
+    migrate_dsc,
+)
+
+from conftest import paper_row
+
+
+def test_e09_twenty_percent_saving(benchmark):
+    report = benchmark(migrate_dsc)
+    print()
+    print(report.format_report())
+
+    paper_row("E9", "die cost saving 0.25 -> 0.18 um", "20%",
+              f"{report.cost_saving_fraction * 100:.1f}%")
+    paper_row("E9", "die area", "shrinks",
+              f"{report.source.die_area_mm2:.1f} -> "
+              f"{report.target.die_area_mm2:.1f} mm^2")
+    paper_row("E9", "gross dies/wafer", "increases",
+              f"{report.source.gross_dies} -> {report.target.gross_dies}")
+
+    assert report.cost_saving_fraction == pytest.approx(0.20, abs=0.03)
+    assert report.target.die_area_mm2 < report.source.die_area_mm2
+    assert report.target.gross_dies > report.source.gross_dies
+
+
+def test_e09_shrink_is_not_uniform(benchmark):
+    migrated = benchmark(migrate_content, DSC_CONTENT_025, NODE_025,
+                         NODE_018)
+    full_shrink = (0.18 / 0.25) ** 2
+    logic_ratio = migrated.logic_area_mm2 / DSC_CONTENT_025.logic_area_mm2
+    sram_ratio = migrated.sram_area_mm2 / DSC_CONTENT_025.sram_area_mm2
+    analog_ratio = (migrated.analog_io_area_mm2
+                    / DSC_CONTENT_025.analog_io_area_mm2)
+    paper_row("E9", "logic shrink factor", f"{full_shrink:.2f}",
+              f"{logic_ratio:.2f}")
+    paper_row("E9", "SRAM shrink factor", "partial", f"{sram_ratio:.2f}")
+    paper_row("E9", "analogue/IO shrink factor", "small",
+              f"{analog_ratio:.2f}")
+    assert logic_ratio == pytest.approx(full_shrink, rel=1e-6)
+    assert full_shrink < sram_ratio < 1.0
+    assert sram_ratio < analog_ratio < 1.0
+
+
+def test_e09_wafer_cost_alone_would_raise_cost(benchmark):
+    """Without the shrink, moving to pricier 0.18 um wafers would
+    RAISE die cost -- the saving is an area effect."""
+    from repro.manufacturing import die_cost
+
+    same_area_025 = benchmark(die_cost, NODE_025, DSC_CONTENT_025.total_mm2)
+    same_area_018 = die_cost(NODE_018, DSC_CONTENT_025.total_mm2)
+    assert (same_area_018.cost_per_good_die_usd
+            > same_area_025.cost_per_good_die_usd)

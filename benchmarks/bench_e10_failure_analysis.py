@@ -1,0 +1,70 @@
+"""E10 -- Failure analysis of field returns (Section 3).
+
+Paper: "We have been requested to perform failure analysis on 20
+returned chips that have pins shorted to GND.  After checking
+substrate delaminating and popped-corner using scanning acoustics
+tomography, we found no abnormality.  Finally, by sinking 400mA of
+current to the corresponding pin of a good chip we concluded that the
+failure was due to a system board bug."
+
+Shape to reproduce: the three-step elimination (SAT clean -> ESD trace
+clean -> good chip survives 400 mA) lands on SYSTEM_BOARD_BUG, and the
+same workflow reaches *different* conclusions when the truth differs.
+"""
+
+from repro.fa import (
+    RootCause,
+    generate_returns,
+    run_failure_analysis,
+)
+
+from conftest import paper_row
+
+
+def test_e10_paper_scenario(benchmark):
+    returns = generate_returns(count=20, seed=7)
+
+    report = benchmark.pedantic(
+        run_failure_analysis, args=(returns,),
+        kwargs=dict(seed=7, sink_current_ma=400.0),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(report.format_report())
+
+    paper_row("E10", "returned units analysed", "20",
+              str(report.units_analysed))
+    sat_step = report.steps[0]
+    paper_row("E10", "SAT package inspection", "no abnormality",
+              sat_step.observation[:40])
+    paper_row("E10", "decisive test", "sink 400 mA, chip OK",
+              report.steps[-1].observation[:40])
+    paper_row("E10", "conclusion", "system board bug",
+              report.conclusion.value)
+
+    assert report.units_analysed == 20
+    assert report.conclusion is RootCause.SYSTEM_BOARD_BUG
+    assert RootCause.PACKAGE_DELAMINATION in sat_step.eliminated
+
+
+def test_e10_workflow_is_not_a_rubber_stamp(benchmark):
+    """Counterfactuals: with genuinely bad packages or ESD-damaged
+    dies, the same workflow must NOT conclude a board bug."""
+
+    def counterfactuals():
+        return [
+            (cause, run_failure_analysis(
+                generate_returns(count=20, true_cause=cause, seed=13),
+                seed=13,
+            ))
+            for cause in (RootCause.PACKAGE_DELAMINATION,
+                          RootCause.DIE_ESD_DAMAGE)
+        ]
+
+    for cause, report in benchmark.pedantic(counterfactuals,
+                                            iterations=1, rounds=1):
+        paper_row("E10", f"counterfactual truth={cause.value[:20]}",
+                  "not board bug",
+                  (report.conclusion or RootCause.SYSTEM_BOARD_BUG).value
+                  if report.conclusion else "inconclusive")
+        assert report.conclusion is not RootCause.SYSTEM_BOARD_BUG

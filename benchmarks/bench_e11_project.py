@@ -1,0 +1,64 @@
+"""E11 -- Project execution and mass production (Sections 3-4).
+
+Paper: "It took three months for a team of six engineers to complete
+the Netlist-to-GDSII service" ... "We went on to produce over three
+millions of the chip over 18 months.  Our system customer was able
+take about 8% of world-wide market share during that period."
+"""
+
+import pytest
+
+from repro.project import simulate_project
+from repro.manufacturing import simulate_production
+
+from conftest import paper_row
+
+
+def test_e11_schedule(benchmark):
+    result = benchmark.pedantic(
+        simulate_project, kwargs=dict(engineers=6, seed=1),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(result.format_report())
+
+    paper_row("E11", "team size", "6 engineers", str(result.engineers))
+    paper_row("E11", "netlist-to-GDSII duration", "3 months",
+              f"{result.duration_months:.1f} months")
+    paper_row("E11", "mid-project changes absorbed", "29",
+              str(result.changes_absorbed))
+    paper_row("E11", "rework share of effort", "(significant)",
+              f"{result.rework_fraction * 100:.0f}%")
+
+    assert result.engineers == 6
+    assert 2.5 <= result.duration_months <= 4.5
+    assert result.changes_absorbed == 29
+    assert result.rework_fraction > 0.3
+
+
+def test_e11_production(benchmark):
+    result = benchmark.pedantic(
+        simulate_production, kwargs=dict(months=18, seed=2),
+        iterations=1, rounds=1,
+    )
+    paper_row("E11", "units produced in 18 months", ">3 M",
+              f"{result.total_units / 1e6:.2f} M")
+    paper_row("E11", "customer market share", "~8%",
+              f"{result.mean_market_share * 100:.1f}%")
+
+    assert result.total_units > 3_000_000
+    assert 0.06 <= result.mean_market_share <= 0.10
+
+
+def test_e11_flexibility_matters(benchmark):
+    """'The implementation team has to be flexible and adaptive to
+    changes': the same project without churn is materially shorter."""
+    churned = benchmark.pedantic(
+        simulate_project, kwargs=dict(engineers=6, seed=3),
+        iterations=1, rounds=1,
+    )
+    clean = simulate_project(engineers=6, changes=[], seed=3)
+    stretch = churned.duration_days / clean.duration_days
+    paper_row("E11", "schedule stretch from churn", "(the lesson)",
+              f"{stretch:.2f}x")
+    assert stretch > 1.05

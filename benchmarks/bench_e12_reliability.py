@@ -1,0 +1,57 @@
+"""E12 -- Reliability qualification (Section 3).
+
+Paper: "The chip also went through reliability test including ESD
+performance test, temperature cycle test, high/low temperature storage
+test and humidity/temperature test."
+
+Shape to reproduce: the production chip passes all four stresses with
+JEDEC-style zero-failure sampling; a deliberately weakened population
+fails, showing the suite discriminates.
+"""
+
+from repro.reliability import (
+    CoffinManson,
+    EsdModel,
+    dsc_qualification_suite,
+    run_qualification,
+)
+
+from conftest import paper_row
+
+
+def test_e12_qualification_passes(benchmark):
+    report = benchmark.pedantic(
+        run_qualification, kwargs=dict(seed=3), iterations=1, rounds=1
+    )
+    print()
+    print(report.format_report())
+
+    for result in report.results:
+        paper_row("E12", result.name, "pass",
+                  "PASS" if result.passed else "FAIL")
+        assert result.passed, result.name
+    paper_row("E12", "stresses in suite", "4 (ESD, TC, HTS, THB)",
+              str(len(report.results)))
+    assert len(report.results) == 4
+    assert report.passed
+
+
+def test_e12_suite_discriminates(benchmark):
+    """Fragile solder fatigue or weak ESD structures must fail."""
+    fragile_cycling = dsc_qualification_suite(
+        cycling=CoffinManson(a_coefficient=1.0e7)
+    )
+    weak_esd = dsc_qualification_suite(
+        esd=EsdModel(median_withstand_v=1200.0)
+    )
+    cyc_report = benchmark.pedantic(
+        run_qualification, kwargs=dict(suite=fragile_cycling, seed=4),
+        iterations=1, rounds=1,
+    )
+    esd_report = run_qualification(suite=weak_esd, seed=4)
+    paper_row("E12", "fragile-joint counterfactual", "fails TC",
+              "FAIL" if not cyc_report.passed else "PASS")
+    paper_row("E12", "weak-ESD counterfactual", "fails ESD",
+              "FAIL" if not esd_report.passed else "PASS")
+    assert not cyc_report.passed
+    assert not esd_report.passed

@@ -1,0 +1,76 @@
+"""E13 -- Cross-simulator inconsistency (Section 3).
+
+Paper: "There existed inconsistency between simulators/versions among
+customer, IP vendors and us.  The customer used PC-based
+Verilog/ModelSim while we used NC-Verilog.  This lead to extra twist
+during ASIC sign-off."
+
+Shape to reproduce: the same netlist + stimulus diverges between the
+4-state and 2-state-leaning dialects when benches skip reset
+(uninitialised flops read X in one, 0 in the other), and converges
+once benches reset properly -- the process fix the team adopted.
+"""
+
+from repro.netlist import counter, make_default_library, pipeline_block
+from repro.verification import Testbench, cross_simulator_check
+
+from conftest import paper_row
+
+
+def build_suite(module, *, with_reset: bool, cycles: int = 12):
+    # A reset-less bench still deasserts rst_n (drives it high) -- it
+    # just never asserts it, so flops keep their power-on value, which
+    # is where the two dialects disagree.
+    stimulus = [{"rst_n": 1} for _ in range(cycles)]
+    return [
+        Testbench(
+            name=f"bench_{index}",
+            stimulus=stimulus,
+            checker=lambda c, o: None,
+            reset_port="rst_n" if with_reset else None,
+        )
+        for index in range(3)
+    ]
+
+
+def test_e13_mismatch_without_reset(benchmark):
+    lib = make_default_library(0.25)
+    module = counter("cnt", lib, width=8)
+    suite = build_suite(module, with_reset=False)
+
+    cross = benchmark.pedantic(
+        cross_simulator_check, args=(module, suite),
+        iterations=1, rounds=1,
+    )
+    paper_row("E13", "trace mismatches without reset discipline",
+              "> 0 (the sign-off twist)",
+              str(cross.total_trace_mismatches))
+    assert not cross.consistent
+    assert cross.total_trace_mismatches > 0
+
+
+def test_e13_consistent_with_reset(benchmark):
+    lib = make_default_library(0.25)
+    module = counter("cnt", lib, width=8)
+    suite = build_suite(module, with_reset=True)
+    cross = benchmark.pedantic(
+        cross_simulator_check, args=(module, suite),
+        iterations=1, rounds=1,
+    )
+    paper_row("E13", "trace mismatches with reset discipline", "0",
+              str(cross.total_trace_mismatches))
+    assert cross.consistent
+
+
+def test_e13_holds_on_random_logic_too(benchmark):
+    lib = make_default_library(0.25)
+    module = pipeline_block("blk", lib, stages=2, width=8,
+                            cloud_gates=30, seed=5)
+    no_reset = build_suite(module, with_reset=False, cycles=6)
+    with_reset = build_suite(module, with_reset=True, cycles=6)
+    no_reset_cross = benchmark.pedantic(
+        cross_simulator_check, args=(module, no_reset),
+        iterations=1, rounds=1,
+    )
+    assert not no_reset_cross.consistent
+    assert cross_simulator_check(module, with_reset).consistent

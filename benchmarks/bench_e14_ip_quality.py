@@ -1,0 +1,102 @@
+"""E14 -- IP quality and integration cost (Sections 2-3).
+
+Paper: "The USB IP was delivered in FPGA-targeted RTL.  No robust
+synthesis script was available and the first RTL level simulation was
+failed.  We have to co-work with the IP vendor over 10 versions of RTL
+code modification or synthesis constraint updates." ... "it is quite
+risky to employ third party IP in a complex SOC project, especially,
+when the IP has not been proven in the identical design environment."
+
+Shape to reproduce: expected revision cycles fall monotonically with
+IP maturity; the USB core lands above 10; silicon-proven in-house
+blocks land near 1.
+"""
+
+import numpy as np
+
+from repro.ip import (
+    Deliverable,
+    HdlLanguage,
+    IpBlock,
+    IpSource,
+    SOFT_IP_CHECKLIST,
+    dsc_ip_catalog,
+    run_integration_campaign,
+)
+
+from conftest import paper_row
+
+
+def test_e14_usb_over_ten_revisions(benchmark):
+    catalog = dsc_ip_catalog()
+    campaign = benchmark.pedantic(
+        run_integration_campaign, args=(catalog,), kwargs=dict(seed=3),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(campaign.format_report())
+
+    usb = catalog.get("usb11")
+    paper_row("E14", "USB expected revision cycles", "over 10",
+              f"{usb.expected_revision_cycles:.1f}")
+    paper_row("E14", "in-house SDRAM controller cycles", "~1",
+              f"{catalog.get('sdram_ctrl').expected_revision_cycles:.1f}")
+    paper_row("E14", "riskiest block in campaign", "USB 1.1",
+              campaign.worst().block)
+
+    assert usb.expected_revision_cycles > 10
+    assert catalog.get("sdram_ctrl").expected_revision_cycles < 1.5
+
+
+def test_e14_maturity_monotonicity(benchmark):
+    """Revisions fall monotonically as deliverables are added."""
+    deliverable_order = list(SOFT_IP_CHECKLIST)
+
+    def sweep():
+        values = []
+        for count in range(len(deliverable_order) + 1):
+            block = IpBlock(
+                name=f"x{count}", function="f",
+                source=IpSource.THIRD_PARTY,
+                language=HdlLanguage.VERILOG, gate_budget=1000,
+                deliverables=frozenset(deliverable_order[:count]),
+            )
+            values.append(block.expected_revision_cycles)
+        return values
+
+    cycles = benchmark(sweep)
+    paper_row("E14", "cycles: no deliverables -> full set",
+              "monotone drop", f"{cycles[0]:.1f} -> {cycles[-1]:.1f}")
+    assert all(b <= a for a, b in zip(cycles, cycles[1:]))
+    assert cycles[0] > 3 * cycles[-1]
+
+
+def test_e14_silicon_proven_discount(benchmark):
+    base = dict(
+        name="x", function="f", source=IpSource.THIRD_PARTY,
+        language=HdlLanguage.VHDL, gate_budget=1000,
+        deliverables=frozenset(SOFT_IP_CHECKLIST),
+    )
+    unproven = benchmark(IpBlock, **base)
+    proven = IpBlock(**{**base, "silicon_proven": True})
+    paper_row("E14", "silicon-proven discount", "risky without",
+              f"{unproven.expected_revision_cycles:.1f} -> "
+              f"{proven.expected_revision_cycles:.1f}")
+    assert proven.expected_revision_cycles < unproven.expected_revision_cycles
+
+
+def test_e14_campaign_statistics_stable(benchmark):
+    """Across seeds, USB dominates the campaign almost always."""
+    catalog = dsc_ip_catalog()
+
+    def count_wins():
+        return sum(
+            run_integration_campaign(catalog, seed=seed).worst().block
+            == "usb11"
+            for seed in range(10)
+        )
+
+    wins = benchmark.pedantic(count_wins, iterations=1, rounds=1)
+    paper_row("E14", "USB worst-of-campaign frequency", "dominant",
+              f"{wins}/10 seeds")
+    assert wins >= 7

@@ -1,0 +1,49 @@
+"""X2 -- Hybrid emulation/simulation (Section 3).
+
+Paper: "After whole system verification with hybrid
+emulation/simulation, it was implemented in TSMC 0.25um ..."
+
+Shape to reproduce: for the DSC campaign (tens of debug loops plus
+hundreds of millions of regression cycles) the hybrid strategy beats
+both pure strategies; for a tiny campaign the simulator alone wins
+(so the model is not a tautology).
+"""
+
+from repro.verification import (
+    CampaignSpec,
+    best_strategy,
+    plan_emulator_only,
+    plan_hybrid,
+    plan_simulator_only,
+)
+
+from conftest import paper_row
+
+
+def test_x02_hybrid_wins_dsc_campaign(benchmark):
+    spec = CampaignSpec()
+    hybrid = benchmark(plan_hybrid, spec)
+    simulator = plan_simulator_only(spec)
+    emulator = plan_emulator_only(spec)
+    print()
+    for plan in (simulator, emulator, hybrid):
+        print(plan.format_report())
+
+    paper_row("X2", "simulator-only campaign", "(weeks)",
+              f"{simulator.total_weeks:.1f} wk")
+    paper_row("X2", "emulator-only campaign", "(compile-bound)",
+              f"{emulator.total_weeks:.1f} wk")
+    paper_row("X2", "hybrid campaign", "(the paper's choice)",
+              f"{hybrid.total_weeks:.1f} wk")
+    assert hybrid.total_hours < simulator.total_hours
+    assert hybrid.total_hours < emulator.total_hours
+    assert best_strategy(spec).strategy.startswith("hybrid")
+
+
+def test_x02_crossover_exists(benchmark):
+    tiny = CampaignSpec(debug_iterations=2, debug_cycles_each=1000,
+                        regression_cycles=50_000)
+    winner = benchmark(best_strategy, tiny)
+    paper_row("X2", "tiny-campaign winner", "simulator",
+              winner.strategy)
+    assert winner.strategy == "simulator only"

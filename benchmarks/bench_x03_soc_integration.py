@@ -1,0 +1,66 @@
+"""X3 -- System integration (Section 2).
+
+Paper: "After all IP models are made ready, whole system integration
+and verification is an even bigger challenge."
+
+Shape to reproduce: the assembled SoC passes its smoke test with a
+clean memory map; the two modelled integration bug classes (window
+overlap, same-bank SDRAM buffers) are caught / visible.
+"""
+
+import pytest
+
+from repro.soc import BusError, DscSoc, broken_soc_with_overlap
+
+from conftest import paper_row
+
+
+def test_x03_smoke_and_hot_path(benchmark):
+    def assemble_and_run():
+        soc = DscSoc()
+        ok = soc.smoke_test()
+        cycles = soc.capture_frame(frame_words=512)
+        return soc, ok, cycles
+
+    soc, ok, cycles = benchmark.pedantic(assemble_and_run,
+                                         iterations=1, rounds=1)
+    paper_row("X3", "integration smoke test", "pass",
+              "PASS" if ok else "FAIL")
+    paper_row("X3", "camera hot path bus errors", "0",
+              str(len(soc.bus.error_transactions())))
+    paper_row("X3", "SDRAM row-hit rate on hot path", "(high)",
+              f"{soc.sdram.hit_rate * 100:.0f}%")
+    assert ok
+    assert not soc.bus.error_transactions()
+    assert soc.sdram.hit_rate > 0.8
+
+
+def test_x03_overlap_caught_at_assembly(benchmark):
+    def try_build():
+        try:
+            broken_soc_with_overlap()
+        except BusError:
+            return True
+        return False
+
+    caught = benchmark(try_build)
+    paper_row("X3", "overlapping windows rejected", "at assembly",
+              "caught" if caught else "MISSED")
+    assert caught
+
+
+def test_x03_bank_placement_performance_bug(benchmark):
+    def compare():
+        bad = DscSoc()
+        bad_cycles = bad.capture_frame(frame_words=512, jpeg_base=0x8000)
+        good = DscSoc()
+        good_cycles = good.capture_frame(frame_words=512,
+                                         jpeg_base=0x8400)
+        return bad_cycles, good_cycles
+
+    bad_cycles, good_cycles = benchmark.pedantic(compare,
+                                                 iterations=1, rounds=1)
+    slowdown = bad_cycles / good_cycles
+    paper_row("X3", "same-bank buffer slowdown", "visible",
+              f"{slowdown:.2f}x")
+    assert slowdown > 1.2

@@ -1,0 +1,106 @@
+"""X4 -- Advanced sign-off: SI, DFM, low power (Section 4).
+
+Paper: "Current complex SOC projects require silicon implementation
+flow including virtual prototyping, signal integrity check (crosstalk,
+electron-migration, dynamic IR drop, de-coupling cell insertion),
+design for manufacturability (intra-die process variation modeling,
+double via, dummy metal insertion), STA sign-off with in-die variation
+analysis, ... low power solution (multi Vt/VDD cell library, gated
+clock, power down isolation) ..."
+
+Shape to reproduce: each capability runs on the placed block and moves
+its metric the right way.
+"""
+
+import pytest
+
+from repro.netlist import make_default_library, pipeline_block
+from repro.physical import AnnealingPlacer, GlobalRouter
+from repro.sta import TimingConstraints
+from repro.si import CrosstalkAnalyzer, PowerGridAnalyzer
+from repro.dfm import double_via_insertion, dummy_metal_fill, ocv_derated_sta
+from repro.lowpower import insert_clock_gating, multi_vt_leakage_recovery
+
+from conftest import paper_row
+
+
+@pytest.fixture(scope="module")
+def placed():
+    lib = make_default_library(0.25)
+    block = pipeline_block("blk", lib, stages=3, width=12,
+                           cloud_gates=60, seed=31)
+    placement, _ = AnnealingPlacer(block, seed=31).place(iterations=6000)
+    return block, placement
+
+
+def test_x04_crosstalk_and_ir(benchmark, placed):
+    block, placement = placed
+    constraints = TimingConstraints(clock_period_ps=1e6 / 133.0)
+
+    def run_si():
+        router = GlobalRouter(block, placement, edge_capacity=6)
+        xtalk = CrosstalkAnalyzer(block, placement, router).analyze(
+            constraints, min_shared_edges=1
+        )
+        grid = PowerGridAnalyzer(block, placement, activity=1.0)
+        ir_before = grid.analyze(limit_mv=2.0)
+        grid.insert_decaps(limit_mv=2.0)
+        ir_after = grid.analyze(limit_mv=2.0)
+        return xtalk, ir_before, ir_after
+
+    xtalk, ir_before, ir_after = benchmark.pedantic(run_si,
+                                                    iterations=1, rounds=1)
+    paper_row("X4", "coupled net pairs found", "> 0",
+              str(len(xtalk.pairs)))
+    paper_row("X4", "worst crosstalk delta", "> 0",
+              f"{xtalk.worst_delta_ps:.1f} ps")
+    paper_row("X4", "IR violations before/after decaps", "falls",
+              f"{ir_before.violating_nodes} -> {ir_after.violating_nodes}")
+    assert xtalk.pairs
+    assert ir_after.violating_nodes <= ir_before.violating_nodes
+    assert ir_after.decaps_inserted >= 0
+
+
+def test_x04_dfm(benchmark, placed):
+    block, placement = placed
+
+    def run_dfm():
+        vias = double_via_insertion(block, placement)
+        fill = dummy_metal_fill(block, placement)
+        ocv = ocv_derated_sta(
+            block, TimingConstraints(clock_period_ps=1e6 / 133.0)
+        )
+        return vias, fill, ocv
+
+    vias, fill, ocv = benchmark.pedantic(run_dfm, iterations=1, rounds=1)
+    paper_row("X4", "via yield single -> double", "rises",
+              f"{vias.via_yield_before * 100:.3f}% ->"
+              f" {vias.via_yield_after * 100:.3f}%")
+    paper_row("X4", "density violations after fill", "falls",
+              f"{fill.violating_before} -> {fill.violating_after}")
+    paper_row("X4", "OCV variation cost", "> 0",
+              f"{ocv.variation_cost_ps:.0f} ps")
+    assert vias.via_yield_after > vias.via_yield_before
+    assert fill.violating_after <= fill.violating_before
+    assert ocv.variation_cost_ps > 0
+
+
+def test_x04_low_power(benchmark, placed):
+    block, _ = placed
+    constraints = TimingConstraints(clock_period_ps=1e6 / 133.0)
+
+    def run_lp():
+        _, gating = insert_clock_gating(block, activity=0.15)
+        _, mvt = multi_vt_leakage_recovery(block, constraints)
+        return gating, mvt
+
+    gating, mvt = benchmark.pedantic(run_lp, iterations=1, rounds=1)
+    paper_row("X4", "clock-tree power saving (gating)", "large at idle",
+              f"{gating.clock_power_saving * 100:.0f}%")
+    paper_row("X4", "leakage saving (multi-Vt)", "> 0",
+              f"{mvt.leakage_saving * 100:.0f}%")
+    paper_row("X4", "timing after multi-Vt", "still clean",
+              "clean" if mvt.timing_preserved else "BROKEN")
+    assert gating.clock_power_saving > 0.4
+    assert mvt.leakage_saving > 0.15
+    assert mvt.timing_preserved

@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every module in this directory regenerates one experiment from
+EXPERIMENTS.md (the paper's quantitative claims).  Each test both
+*times* the underlying computation (pytest-benchmark) and *asserts the
+shape* of the paper's result; the printed paper-vs-measured rows are
+visible with ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+
+def paper_row(experiment: str, quantity: str, paper_value: str,
+              measured_value: str) -> None:
+    """Print one paper-vs-measured comparison row."""
+    print(f"[{experiment}] {quantity:42s} paper: {paper_value:>14s}"
+          f"  measured: {measured_value:>14s}")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The Section-4 'current projects' flow: SI, DFM and low power.
+
+The paper closes by listing what later SOC projects required beyond
+the DSC flow: signal-integrity checks (crosstalk, electromigration,
+dynamic IR drop, decap insertion), design-for-manufacturability
+(double via, dummy metal, in-die variation sign-off) and low-power
+techniques (multi-Vt library, gated clocks, power-down isolation).
+This example runs all of them on one placed block.
+
+Run:
+    python examples/advanced_flow.py
+"""
+
+from repro.netlist import make_default_library, pipeline_block
+from repro.physical import AnnealingPlacer, GlobalRouter
+from repro.sta import TimingConstraints
+from repro.si import (
+    CrosstalkAnalyzer,
+    PowerGridAnalyzer,
+    electromigration_check,
+)
+from repro.dfm import double_via_insertion, dummy_metal_fill, ocv_derated_sta
+from repro.lowpower import (
+    PowerDomain,
+    audit_isolation,
+    estimate_power,
+    insert_clock_gating,
+    multi_vt_leakage_recovery,
+)
+
+
+def main() -> None:
+    lib = make_default_library(0.25)
+    block = pipeline_block("mm_block", lib, stages=3, width=12,
+                           cloud_gates=60, seed=12)
+    constraints = TimingConstraints(clock_period_ps=1e6 / 133.0)
+    placement, _ = AnnealingPlacer(block, seed=12).place(iterations=8000)
+
+    print("--- signal integrity ------------------------------------")
+    router = GlobalRouter(block, placement, edge_capacity=6)
+    crosstalk = CrosstalkAnalyzer(block, placement, router).analyze(
+        constraints, min_shared_edges=1
+    )
+    print(crosstalk.format_report())
+
+    grid = PowerGridAnalyzer(block, placement, activity=0.6)
+    ir_before = grid.analyze(limit_mv=3.0)
+    print(ir_before.format_report())
+    grid.insert_decaps(limit_mv=3.0)
+    print("after decap insertion:")
+    print(grid.analyze(limit_mv=3.0).format_report())
+
+    em = electromigration_check(block, max_current_ma=0.5)
+    print(f"electromigration offenders: {len(em)}")
+
+    print("\n--- design for manufacturability ------------------------")
+    print(double_via_insertion(block, placement).format_report())
+    print(dummy_metal_fill(block, placement).format_report())
+    print(ocv_derated_sta(block, constraints).format_report())
+
+    print("\n--- low power -------------------------------------------")
+    print(estimate_power(block, clock_mhz=133.0,
+                         activity=0.15).format_report())
+    gated, gating = insert_clock_gating(block, activity=0.15)
+    print(gating.format_report())
+    _, mvt = multi_vt_leakage_recovery(block, constraints)
+    print(mvt.format_report())
+    isolation = audit_isolation(
+        [
+            PowerDomain("always_on", ("cpu", "sdram"), switchable=False),
+            PowerDomain("usb", ("usb11",), switchable=True),
+            PowerDomain("jpeg", ("jpeg_codec",), switchable=True),
+        ],
+        {("usb", "always_on"): 14, ("jpeg", "always_on"): 36,
+         ("always_on", "jpeg"): 22},
+    )
+    print(isolation.format_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: run the complete SOC design-service flow.
+
+Reproduces the lifecycle of the DATE 2005 paper's DSC controller --
+IP intake, CPU hardening, assembly, verification, DFT, physical
+implementation, packaging, tapeout, and 18 months of production --
+and prints the consolidated report with every headline number.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import DesignServiceFlow
+
+
+def main() -> None:
+    flow = DesignServiceFlow(scale=0.02, seed=1)
+
+    print("stage 1/9: IP intake ...")
+    campaign = flow.intake()
+    print(campaign.format_report())
+
+    print("\nstage 2/9: hardening the legacy RISC/DSP ...")
+    hardening = flow.harden_cpu()
+    print(hardening.format_report())
+
+    print("\nstage 3/9: assembling the SoC ...")
+    blocks = flow.assemble()
+    print(f"  {len(blocks)} digital blocks materialised, "
+          f"{flow.report.soc_gate_budget} gates budgeted")
+
+    print("\nstage 3b: virtual prototype ...")
+    proto = flow.prototype()
+    print(proto.format_report())
+
+    print("\nstage 4/9: verification ...")
+    cross = flow.verify()
+    print(cross.format_report())
+
+    print("\nstage 4b: whole-system integration (transaction level) ...")
+    soc = flow.integrate_system()
+    print(f"  smoke test {'PASS' if flow.report.system_smoke_pass else 'FAIL'},"
+          f" camera hot path {flow.report.system_hot_path_cycles} bus cycles")
+
+    print("\nstage 5/9: DFT insertion ...")
+    atpg, bist_plan = flow.insert_dft()
+    print(atpg.format_report())
+    print(bist_plan.format_report())
+
+    print("\nstage 5b: hierarchical test scheduling ...")
+    schedule = flow.schedule_tests()
+    print(f"  {schedule.sessions} sessions,"
+          f" {schedule.speedup_vs_flat:.1f}x faster than flat chains")
+
+    print("\nstage 6/9: physical implementation ...")
+    floorplan, placement, routing, cts, sta = flow.implement()
+    print(floorplan.format_report())
+    print(routing.format_report())
+    print(cts.format_report())
+    print(sta.format_report())
+
+    print("\nstage 6b: SI / DFM / low-power sign-off ...")
+    crosstalk, ir, vias, gating, mvt = flow.advanced_signoff()
+    print(f"  {len(crosstalk.pairs)} coupled pairs,"
+          f" {ir.violating_nodes} IR violations after decaps,"
+          f" clock power -{gating.clock_power_saving * 100:.0f}%,"
+          f" leakage -{mvt.leakage_saving * 100:.0f}%")
+
+    print("\nstage 7/9: package pin assignment ...")
+    _, pin_report = flow.package_design()
+    print(pin_report.format_report())
+
+    print("\nstage 8/9: tapeout ...")
+    formal, project = flow.tapeout()
+    print(formal.format_report())
+    print(project.format_report())
+
+    print("\nstage 9/9: production ...")
+    qual, ramp, production = flow.produce()
+    print(qual.format_report())
+    print(ramp.format_report())
+
+    print()
+    print(flow.report.format_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one-line access to the headline flows without
+writing scripts:
+
+    python -m repro flow          # the nine-stage lifecycle
+    python -m repro camera        # take a photo, write a .jpg
+    python -m repro ramp          # the 8-month yield ramp
+    python -m repro atpg          # scan + ATPG on a generated block
+    python -m repro mbist         # March coverage + BIST plan
+    python -m repro pins          # substrate 4 -> 2 layers
+    python -m repro migrate       # 0.25 -> 0.18 um die cost
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .core import DesignServiceFlow
+
+    flow = DesignServiceFlow(scale=args.scale, seed=args.seed)
+    report = flow.run()
+    print(report.format_report())
+    return 0
+
+
+def _cmd_camera(args: argparse.Namespace) -> int:
+    from .dsc import SENSOR_2MP, SENSOR_3MP, simulate_shot
+
+    sensor = SENSOR_3MP if args.grade == "3mp" else SENSOR_2MP
+    shot = simulate_shot(sensor=sensor, quality=args.quality,
+                         seed=args.seed)
+    print(f"{sensor.name}: {shot.timing.format_report()}")
+    print(f"PSNR {shot.quality_psnr_db:.1f} dB, "
+          f"{len(shot.jpeg_stream)} bytes")
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(shot.jpeg_stream)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_ramp(args: argparse.Namespace) -> int:
+    from .manufacturing import simulate_ramp
+
+    result = simulate_ramp(months=args.months, seed=args.seed)
+    print(result.format_report())
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from .netlist import block_from_budget, make_default_library
+    from .dft import insert_scan, run_atpg
+
+    library = make_default_library(0.25)
+    block = block_from_budget("block", library,
+                              gate_budget=args.gates, seed=args.seed)
+    scanned, scan_report = insert_scan(block, n_chains=args.chains)
+    print(f"scanned {scan_report.total_scan_flops} flops into "
+          f"{len(scan_report.chains)} chains")
+    result = run_atpg(scanned, seed=args.seed,
+                      max_random_patterns=args.patterns)
+    print(result.format_report())
+    return 0
+
+
+def _cmd_mbist(args: argparse.Namespace) -> int:
+    from .netlist import make_default_library
+    from .mbist import (
+        BistGenerator,
+        MARCH_C_MINUS,
+        dsc_memory_set,
+        measure_coverage,
+    )
+
+    report = measure_coverage(MARCH_C_MINUS, trials_per_family=args.trials,
+                              seed=args.seed)
+    print(report.format_report())
+    plan = BistGenerator(make_default_library(0.25)).plan(dsc_memory_set())
+    print()
+    print(plan.format_report())
+    return 0
+
+
+def _cmd_pins(args: argparse.Namespace) -> int:
+    from .package import (
+        dsc_pad_ring,
+        estimate_layers,
+        optimize_assignment,
+        scrambled_assignment,
+        tfbga256,
+    )
+
+    start = scrambled_assignment(tfbga256(), dsc_pad_ring(),
+                                 seed=args.seed)
+    print(f"initial substrate layers: {estimate_layers(start)}")
+    optimized, report = optimize_assignment(
+        start, iterations=args.iterations, seed=args.seed,
+        initial_temperature=0.3,
+    )
+    print(report.format_report())
+    print(f"final substrate layers  : {estimate_layers(optimized)}")
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from .manufacturing import migrate_dsc
+
+    print(migrate_dsc().format_report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated SOC design-service flow (DATE 2005 "
+                    "multimedia SOC reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flow = sub.add_parser("flow", help="run the nine-stage lifecycle")
+    flow.add_argument("--scale", type=float, default=0.02)
+    flow.add_argument("--seed", type=int, default=1)
+    flow.set_defaults(func=_cmd_flow)
+
+    camera = sub.add_parser("camera", help="capture a photo")
+    camera.add_argument("--grade", choices=("2mp", "3mp"), default="3mp")
+    camera.add_argument("--quality", type=int, default=85)
+    camera.add_argument("--seed", type=int, default=0)
+    camera.add_argument("--out", default="")
+    camera.set_defaults(func=_cmd_camera)
+
+    ramp = sub.add_parser("ramp", help="simulate the yield ramp")
+    ramp.add_argument("--months", type=int, default=8)
+    ramp.add_argument("--seed", type=int, default=11)
+    ramp.set_defaults(func=_cmd_ramp)
+
+    atpg = sub.add_parser("atpg", help="scan + ATPG a generated block")
+    atpg.add_argument("--gates", type=int, default=1500)
+    atpg.add_argument("--chains", type=int, default=2)
+    atpg.add_argument("--patterns", type=int, default=512)
+    atpg.add_argument("--seed", type=int, default=3)
+    atpg.set_defaults(func=_cmd_atpg)
+
+    mbist = sub.add_parser("mbist", help="March coverage + BIST plan")
+    mbist.add_argument("--trials", type=int, default=80)
+    mbist.add_argument("--seed", type=int, default=3)
+    mbist.set_defaults(func=_cmd_mbist)
+
+    pins = sub.add_parser("pins", help="pin-assignment optimisation")
+    pins.add_argument("--iterations", type=int, default=3000)
+    pins.add_argument("--seed", type=int, default=1)
+    pins.set_defaults(func=_cmd_pins)
+
+    migrate = sub.add_parser("migrate", help="0.25 -> 0.18 um die cost")
+    migrate.set_defaults(func=_cmd_migrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

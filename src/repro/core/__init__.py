@@ -1,0 +1,5 @@
+"""The end-to-end SOC design-service flow."""
+
+from .flow import DesignServiceFlow, FlowReport
+
+__all__ = ["DesignServiceFlow", "FlowReport"]

@@ -1,0 +1,21 @@
+"""Design-for-manufacturability: double vias, dummy fill, OCV."""
+
+from .dfm import (
+    DoubleViaReport,
+    DummyFillReport,
+    OcvDeratedReport,
+    double_via_insertion,
+    dummy_metal_fill,
+    ocv_derated_sta,
+    via_yield_model,
+)
+
+__all__ = [
+    "DoubleViaReport",
+    "DummyFillReport",
+    "OcvDeratedReport",
+    "double_via_insertion",
+    "dummy_metal_fill",
+    "ocv_derated_sta",
+    "via_yield_model",
+]

@@ -1,0 +1,277 @@
+"""Design-for-manufacturability transforms and analyses.
+
+Section 4: "design for manufacturability (intra-die process variation
+modeling, double via, dummy metal insertion), STA sign-off with in-die
+variation analysis".  Three pieces:
+
+* **double_via_insertion** -- every routed connection lands on vias;
+  single vias fail at a (small) rate, and doubling them where the
+  routing grid has room takes the via-limited yield term up
+  measurably.
+* **dummy_metal_fill** -- CMP needs metal density inside a window on
+  every region; fill is added to sparse regions and the density map
+  before/after is reported.
+* **ocv_derated_sta** -- on-chip-variation sign-off: launch paths are
+  derated late, capture paths early; the report shows how much of the
+  clock period in-die variation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Module
+from ..physical.placement import Placement
+from ..physical.routing import GlobalRouter
+from ..sta import TimingAnalyzer, TimingConstraints
+
+#: Failure rate of a single via (defects per via).
+SINGLE_VIA_FAIL_RATE = 2.0e-7
+#: A doubled via only fails when both cuts fail (with some correlation).
+DOUBLE_VIA_FAIL_RATE = 6.0e-9
+
+
+@dataclass
+class DoubleViaReport:
+    """Via census and yield impact."""
+
+    total_vias: int
+    doubled_vias: int
+    via_yield_before: float
+    via_yield_after: float
+
+    @property
+    def doubled_fraction(self) -> float:
+        if self.total_vias == 0:
+            return 0.0
+        return self.doubled_vias / self.total_vias
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "Double-via insertion",
+                f"  vias          : {self.total_vias}"
+                f" ({self.doubled_fraction * 100:.0f}% doubled)",
+                f"  via yield     : {self.via_yield_before * 100:.3f}% ->"
+                f" {self.via_yield_after * 100:.3f}%",
+            ]
+        )
+
+
+def via_yield_model(single_vias: int, double_vias: int) -> float:
+    """Poisson yield of a via population."""
+    expected_fails = (single_vias * SINGLE_VIA_FAIL_RATE
+                      + double_vias * DOUBLE_VIA_FAIL_RATE)
+    return float(np.exp(-expected_fails))
+
+
+def double_via_insertion(
+    module: Module,
+    placement: Placement,
+    *,
+    congestion_headroom: float = 0.7,
+    edge_capacity: int = 16,
+    vias_per_gate_scale: int = 1000,
+) -> DoubleViaReport:
+    """Double vias wherever the local routing congestion allows.
+
+    Each routed connection contributes vias at its turns; a via can be
+    doubled when its grid edge is below ``congestion_headroom`` of
+    capacity.  The via count is extrapolated from the placed block to
+    full-chip scale with ``vias_per_gate_scale``.
+    """
+    router = GlobalRouter(module, placement, edge_capacity=edge_capacity)
+    router.route_all()
+
+    turns_total = 0
+    turns_doubled = 0
+    for edge, used in router.usage.items():
+        # Treat each unit of edge usage as one via landing.
+        turns_total += used
+        if used <= congestion_headroom * edge_capacity:
+            turns_doubled += used
+    # Extrapolate to chip scale so the yield numbers are meaningful.
+    scale = max(1, vias_per_gate_scale // max(len(module.instances), 1))
+    total = turns_total * scale
+    doubled = turns_doubled * scale
+
+    return DoubleViaReport(
+        total_vias=total,
+        doubled_vias=doubled,
+        via_yield_before=via_yield_model(total, 0),
+        via_yield_after=via_yield_model(total - doubled, doubled),
+    )
+
+
+@dataclass
+class DummyFillReport:
+    """Metal density before/after fill."""
+
+    window_min: float
+    window_max: float
+    regions: int
+    violating_before: int
+    violating_after: int
+    fill_added_fraction: float
+
+    @property
+    def clean(self) -> bool:
+        return self.violating_after == 0
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "Dummy metal fill",
+                f"  density window : {self.window_min:.2f}.."
+                f"{self.window_max:.2f}",
+                f"  regions        : {self.regions}",
+                f"  violations     : {self.violating_before} ->"
+                f" {self.violating_after}",
+                f"  fill added     : {self.fill_added_fraction * 100:.1f}%"
+                f" of die",
+            ]
+        )
+
+
+def dummy_metal_fill(
+    module: Module,
+    placement: Placement,
+    *,
+    window: int = 4,
+    density_min: float = 0.25,
+    density_max: float = 0.85,
+    seed: int = 0,
+) -> DummyFillReport:
+    """Check per-window metal density and add fill to sparse windows.
+
+    Density per window is approximated by routed-wire usage plus cell
+    coverage; windows below ``density_min`` get dummy fill raised to
+    the floor; overly dense windows are reported (they need slotting,
+    not fill -- counted as 'after' violations if any).
+    """
+    router = GlobalRouter(module, placement, edge_capacity=16)
+    router.route_all()
+
+    width = placement.grid_width
+    height = placement.grid_height
+    n_wx = max(1, width // window)
+    n_wy = max(1, height // window)
+    density = np.zeros((n_wy, n_wx))
+
+    for loc in placement.locations.values():
+        wx = min(loc[0] // window, n_wx - 1)
+        wy = min(loc[1] // window, n_wy - 1)
+        density[wy, wx] += 0.35  # cell-area contribution
+
+    for (a, b), used in router.usage.items():
+        mx = (a[0] + b[0]) / 2
+        my = (a[1] + b[1]) / 2
+        wx = min(int(mx) // window, n_wx - 1)
+        wy = min(int(my) // window, n_wy - 1)
+        density[wy, wx] += 0.02 * used
+
+    density = np.clip(density / (window * window) * 4.0, 0.0, 1.0)
+    before_low = int((density < density_min).sum())
+    before_high = int((density > density_max).sum())
+
+    filled = density.copy()
+    fill_added = 0.0
+    low = filled < density_min
+    fill_added = float((density_min - filled[low]).sum()) / filled.size
+    filled[low] = density_min
+
+    after_low = int((filled < density_min).sum())
+    after_high = int((filled > density_max).sum())
+    return DummyFillReport(
+        window_min=density_min,
+        window_max=density_max,
+        regions=int(density.size),
+        violating_before=before_low + before_high,
+        violating_after=after_low + after_high,
+        fill_added_fraction=fill_added,
+    )
+
+
+@dataclass
+class OcvDeratedReport:
+    """STA with on-chip-variation derates."""
+
+    wns_nominal_ps: float
+    wns_derated_ps: float
+    derate_late: float
+    derate_early: float
+    variation_cost_ps: float
+    setup_clean_after_derate: bool
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "OCV-derated STA",
+                f"  derates        : late x{self.derate_late:.2f},"
+                f" early x{self.derate_early:.2f}",
+                f"  WNS nominal    : {self.wns_nominal_ps:.1f} ps",
+                f"  WNS derated    : {self.wns_derated_ps:.1f} ps",
+                f"  variation cost : {self.variation_cost_ps:.1f} ps",
+            ]
+        )
+
+
+def ocv_derated_sta(
+    module: Module,
+    constraints: TimingConstraints,
+    *,
+    derate_late: float = 1.08,
+    derate_early: float = 0.92,
+) -> OcvDeratedReport:
+    """Sign-off STA with in-die variation derating.
+
+    Data (launch) paths are multiplied by ``derate_late``; the capture
+    clock arrives early by the uncertainty implied by
+    ``derate_early`` on the clock network (approximated via extra
+    clock uncertainty).  This is the "STA sign-off with in-die
+    variation analysis" capability.
+    """
+    if derate_late < 1.0 or derate_early > 1.0:
+        raise ValueError("late derate must be >=1, early <=1")
+    nominal = TimingAnalyzer(module, constraints).analyze(
+        with_critical_path=False
+    )
+    arrivals = TimingAnalyzer(module, constraints).compute_arrivals()
+    max_arrival = max(arrivals.values(), default=0.0)
+    extra_uncertainty = max_arrival * (derate_late - 1.0) \
+        + constraints.clock_period_ps * (1.0 - derate_early) * 0.1
+    from dataclasses import replace
+
+    derated_constraints = replace(
+        constraints,
+        clock_uncertainty_ps=constraints.clock_uncertainty_ps
+        + extra_uncertainty * 0.3,
+    )
+    derated_analyzer = TimingAnalyzer(module, derated_constraints)
+    # Scale every stage delay late: equivalent to scaling arrivals.
+    derated_arrivals = {
+        net: value * derate_late
+        for net, value in derated_analyzer.compute_arrivals().items()
+    }
+    required = (derated_constraints.clock_period_ps
+                - derated_constraints.setup_ps
+                - derated_constraints.clock_uncertainty_ps)
+    slacks = []
+    for key, kind, net in derated_analyzer._endpoints():
+        req = required if kind == "flop" else (
+            derated_constraints.clock_period_ps
+            - derated_constraints.output_delay_ps
+        )
+        slacks.append(req - derated_arrivals.get(net, 0.0))
+    wns_derated = min(slacks) if slacks else 0.0
+
+    return OcvDeratedReport(
+        wns_nominal_ps=nominal.wns_ps,
+        wns_derated_ps=wns_derated,
+        derate_late=derate_late,
+        derate_early=derate_early,
+        variation_cost_ps=nominal.wns_ps - wns_derated,
+        setup_clean_after_derate=wns_derated >= 0,
+    )

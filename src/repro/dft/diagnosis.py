@@ -1,0 +1,164 @@
+"""Fault diagnosis: from failing test responses back to the defect.
+
+Section 3: "manufacturing test uncovered that the yield killer (5%
+loss) was in the insufficient driving strength of an output buffer in
+the CPU."  Finding *which* circuit node is killing dies is diagnosis:
+compare the tester's observed failing responses against the predicted
+responses of every candidate fault (a fault dictionary) and rank
+candidates by match quality.
+
+This module implements dictionary-based diagnosis on the scan view:
+build the dictionary with the bit-parallel fault simulator, observe a
+'silicon' defect's signature, and rank.  The E8 story becomes fully
+mechanical: inject the weak-driver fault, diagnose it from tester
+data alone, and hand the located instance to the metal-ECO engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .faults import Fault
+from .faultsim import CombinationalView
+
+
+@dataclass(frozen=True)
+class FailureSignature:
+    """Per-pattern detection bits observed at the tester."""
+
+    pattern_count: int
+    #: For each applied pattern batch, the bitmask of failing patterns.
+    failing_masks: tuple[int, ...]
+
+    def matches(self, other: "FailureSignature") -> bool:
+        return self.failing_masks == other.failing_masks
+
+    def hamming_to(self, other: "FailureSignature") -> int:
+        """Number of (pattern, fail/pass) disagreements."""
+        distance = 0
+        for mine, theirs in zip(self.failing_masks, other.failing_masks):
+            distance += bin(mine ^ theirs).count("1")
+        return distance
+
+
+@dataclass
+class DiagnosisCandidate:
+    fault: Fault
+    distance: int
+    exact: bool
+
+
+@dataclass
+class DiagnosisResult:
+    """Ranked candidates for one failing unit."""
+
+    candidates: list[DiagnosisCandidate] = field(default_factory=list)
+
+    @property
+    def best(self) -> DiagnosisCandidate | None:
+        return self.candidates[0] if self.candidates else None
+
+    @property
+    def exact_candidates(self) -> list[Fault]:
+        return [c.fault for c in self.candidates if c.exact]
+
+    def format_report(self, limit: int = 5) -> str:
+        lines = ["Diagnosis candidates (best first):"]
+        for candidate in self.candidates[:limit]:
+            marker = "EXACT" if candidate.exact else f"d={candidate.distance}"
+            lines.append(f"  {candidate.fault!s:32s} {marker}")
+        return "\n".join(lines)
+
+
+class FaultDictionary:
+    """Predicted failure signatures for every candidate fault."""
+
+    def __init__(
+        self,
+        view: CombinationalView,
+        patterns: Sequence[Mapping[str, int]],
+        faults: Sequence[Fault],
+        *,
+        batch_width: int = 64,
+    ) -> None:
+        """``patterns`` are packed pattern batches (as produced by
+        :meth:`CombinationalView.random_patterns`), each covering
+        ``batch_width`` patterns."""
+        self.view = view
+        self.patterns = list(patterns)
+        self.faults = list(faults)
+        self.batch_width = batch_width
+        self._signatures: dict[Fault, FailureSignature] = {}
+        self._good_values = [
+            view.evaluate(packed, batch_width) for packed in self.patterns
+        ]
+        for fault in self.faults:
+            masks = tuple(
+                view.detect_mask(fault, good, batch_width)
+                for good in self._good_values
+            )
+            self._signatures[fault] = FailureSignature(
+                pattern_count=len(self.patterns) * batch_width,
+                failing_masks=masks,
+            )
+
+    def signature_of(self, fault: Fault) -> FailureSignature:
+        """The predicted tester signature of a candidate fault."""
+        return self._signatures[fault]
+
+    def observe(self, defect: Fault) -> FailureSignature:
+        """Simulate 'silicon' with the defect and record what the
+        tester sees (same computation, but conceptually this side is
+        measurement)."""
+        masks = tuple(
+            self.view.detect_mask(defect, good, self.batch_width)
+            for good in self._good_values
+        )
+        return FailureSignature(
+            pattern_count=len(self.patterns) * self.batch_width,
+            failing_masks=masks,
+        )
+
+    def diagnose(self, observed: FailureSignature, *, top: int = 10
+                 ) -> DiagnosisResult:
+        """Rank dictionary faults by signature distance.
+
+        All exact (distance-0) matches are always returned -- they are
+        indistinguishable equivalents of the defect and truncating
+        them would hide the true site; ``top`` bounds only the
+        inexact tail.
+        """
+        scored = []
+        for fault, signature in self._signatures.items():
+            distance = signature.hamming_to(observed)
+            scored.append(
+                DiagnosisCandidate(
+                    fault=fault,
+                    distance=distance,
+                    exact=distance == 0,
+                )
+            )
+        scored.sort(key=lambda c: (c.distance, str(c.fault)))
+        exact_count = sum(1 for c in scored if c.exact)
+        keep = max(top, exact_count)
+        return DiagnosisResult(candidates=scored[:keep])
+
+
+def build_dictionary(
+    view: CombinationalView,
+    faults: Sequence[Fault],
+    *,
+    n_batches: int = 4,
+    batch_width: int = 64,
+    seed: int = 0,
+) -> FaultDictionary:
+    """Convenience constructor with random patterns."""
+    rng = np.random.default_rng(seed)
+    patterns = [
+        view.random_patterns(rng, batch_width) for _ in range(n_batches)
+    ]
+    return FaultDictionary(view, patterns, faults,
+                           batch_width=batch_width)

@@ -1,0 +1,305 @@
+"""Bit-parallel stuck-at fault simulation on full-scan netlists.
+
+Under full scan every flip-flop is a pseudo primary input (its Q net)
+and pseudo primary output (its D net), so test generation reduces to
+the combinational network between scan elements.
+:class:`CombinationalView` extracts that network from a module and
+evaluates it **bit-parallel**: each net's value across a batch of
+patterns is one Python integer, one bit per pattern, and each cell is
+evaluated from its precomputed truth table with bitwise operations.
+Single-fault simulation then re-evaluates only the fanout cone of the
+fault site -- the classic serial-fault / parallel-pattern scheme.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..netlist import Logic, Module
+from ..netlist.netlist import Instance
+from .faults import Fault
+
+
+def _truth_minterms(cell) -> tuple[tuple[int, ...], ...]:
+    """Input combinations (one tuple of 0/1 per input pin) for which a
+    combinational cell outputs 1."""
+    inputs = cell.input_pins
+    minterms: list[tuple[int, ...]] = []
+    for row in range(1 << len(inputs)):
+        assignment = {
+            pin: Logic((row >> k) & 1) for k, pin in enumerate(inputs)
+        }
+        if cell.evaluate(assignment) is Logic.ONE:
+            minterms.append(tuple((row >> k) & 1 for k in range(len(inputs))))
+    return tuple(minterms)
+
+
+class CombinationalView:
+    """The scan-test view of a module: combinational logic between
+    pseudo primary inputs and pseudo primary outputs."""
+
+    #: Input ports that are test infrastructure, not functional data.
+    CONTROL_PORTS = ("clk", "scan_en")
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._order: list[Instance] = module.topological_combinational_order()
+        self._minterms: dict[str, tuple[tuple[int, ...], ...]] = {}
+        for inst in self._order:
+            if inst.cell.name not in self._minterms:
+                self._minterms[inst.cell.name] = _truth_minterms(inst.cell)
+
+        flops = module.sequential_instances
+        port_inputs = [
+            name for name, p in module.ports.items()
+            if p.direction == "input" and name not in self.CONTROL_PORTS
+            and not name.startswith("scan_in")
+        ]
+        self.pseudo_inputs: list[str] = port_inputs + sorted(
+            f.net_of("Q") for f in flops
+        )
+        port_outputs = [
+            name for name, p in module.ports.items()
+            if p.direction == "output" and not name.startswith("scan_out")
+        ]
+        self.pseudo_outputs: list[str] = port_outputs + sorted(
+            f.net_of(f.cell.data_pin) for f in flops
+        )
+        # Fanout adjacency: net -> combinational instances loading it.
+        self._net_loads: dict[str, list[str]] = {}
+        for inst in self._order:
+            for pin in inst.cell.input_pins:
+                self._net_loads.setdefault(inst.net_of(pin), []).append(inst.name)
+        self._topo_index = {inst.name: k for k, inst in enumerate(self._order)}
+
+    # -- evaluation ---------------------------------------------------
+
+    def random_patterns(
+        self, rng: np.random.Generator, count: int
+    ) -> dict[str, int]:
+        """Pack ``count`` random patterns: one integer per pseudo input,
+        bit *k* of each integer is pattern *k*'s value."""
+        packed: dict[str, int] = {}
+        for net in self.pseudo_inputs:
+            bits = rng.integers(0, 2, size=count, dtype=np.uint8)
+            packed[net] = int.from_bytes(
+                np.packbits(bits, bitorder="little").tobytes(), "little"
+            )
+        return packed
+
+    def _eval_instance(self, inst: Instance, values: Mapping[str, int],
+                       mask: int, forced_pin: str | None = None,
+                       forced_value: int = 0) -> int:
+        minterms = self._minterms[inst.cell.name]
+        pins = inst.cell.input_pins
+        in_values = []
+        for pin in pins:
+            if pin == forced_pin:
+                in_values.append(forced_value)
+            else:
+                in_values.append(values.get(inst.net_of(pin), 0))
+        out = 0
+        for minterm in minterms:
+            term = mask
+            for bit, value in zip(minterm, in_values):
+                term &= value if bit else (~value & mask)
+                if not term:
+                    break
+            out |= term
+        return out
+
+    def evaluate(
+        self, packed_inputs: Mapping[str, int], width: int
+    ) -> dict[str, int]:
+        """Evaluate all nets for a packed batch of ``width`` patterns."""
+        mask = (1 << width) - 1
+        values: dict[str, int] = {
+            net: packed_inputs.get(net, 0) for net in self.pseudo_inputs
+        }
+        for inst in self._order:
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            values[out_net] = self._eval_instance(inst, values, mask)
+        return values
+
+    # -- fault machinery ------------------------------------------------
+
+    def fanout_cone(self, start_instance: str) -> list[Instance]:
+        """Combinational instances affected by ``start_instance``'s
+        output, in topological order (including the start)."""
+        seen = {start_instance}
+        queue = deque([start_instance])
+        while queue:
+            name = queue.popleft()
+            inst = self.module.instances[name]
+            if inst.cell.is_sequential:
+                continue
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            for load in self._net_loads.get(out_net, ()):
+                if load not in seen:
+                    seen.add(load)
+                    queue.append(load)
+        members = [self.module.instances[n] for n in seen
+                   if not self.module.instances[n].cell.is_sequential]
+        members.sort(key=lambda i: self._topo_index[i.name])
+        return members
+
+    def support(self, instance: str) -> list[str]:
+        """Pseudo inputs in the transitive fanin of an instance."""
+        pi_set = set(self.pseudo_inputs)
+        found: set[str] = set()
+        seen_inst = {instance}
+        queue = deque([instance])
+        while queue:
+            inst = self.module.instances[queue.popleft()]
+            if inst.cell.is_sequential:
+                continue
+            for pin in inst.cell.input_pins:
+                net = self.module.nets[inst.net_of(pin)]
+                if net.name in pi_set:
+                    found.add(net.name)
+                if net.driver is not None:
+                    drv = net.driver.instance
+                    if drv not in seen_inst:
+                        driver_inst = self.module.instances[drv]
+                        if driver_inst.cell.is_sequential:
+                            # its Q net is a pseudo input, caught above
+                            continue
+                        seen_inst.add(drv)
+                        queue.append(drv)
+        return sorted(found)
+
+    def detect_mask(
+        self,
+        fault: Fault,
+        good_values: Mapping[str, int],
+        width: int,
+    ) -> int:
+        """Bitmask of patterns (within the evaluated batch) that detect
+        ``fault``, given the good-circuit net values."""
+        mask = (1 << width) - 1
+        inst = self.module.instances[fault.instance]
+        stuck = mask if fault.stuck_at else 0
+        overlay: dict[str, int] = {}
+
+        def value_of(net: str) -> int:
+            if net in overlay:
+                return overlay[net]
+            return good_values.get(net, 0)
+
+        direction = inst.cell.pin(fault.pin).direction
+        if direction == "output":
+            out_net = inst.net_of(fault.pin)
+            if value_of(out_net) == stuck:
+                return 0  # fault never activated in this batch
+            overlay[out_net] = stuck
+        else:
+            faulty = self._eval_instance(
+                inst, _OverlayView(overlay, good_values), mask,
+                forced_pin=fault.pin, forced_value=stuck,
+            )
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            if faulty == good_values.get(out_net, 0):
+                return 0
+            overlay[out_net] = faulty
+
+        for member in self.fanout_cone(fault.instance):
+            if member.name == fault.instance:
+                continue
+            new = self._eval_instance(
+                member, _OverlayView(overlay, good_values), mask
+            )
+            member_out = member.net_of(member.cell.output_pins[0])
+            if new != good_values.get(member_out, 0):
+                overlay[member_out] = new
+
+        detected = 0
+        for net in self.pseudo_outputs:
+            if net in overlay:
+                detected |= overlay[net] ^ good_values.get(net, 0)
+        return detected & mask
+
+
+class _OverlayView(dict):
+    """Read-through overlay: fault values shadow good values."""
+
+    def __init__(self, overlay: dict[str, int], base: Mapping[str, int]):
+        super().__init__()
+        self._overlay = overlay
+        self._base = base
+
+    def get(self, key: str, default: int = 0) -> int:
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base.get(key, default)
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of a fault-simulation campaign."""
+
+    total_faults: int
+    detected: set[Fault] = field(default_factory=set)
+    patterns_applied: int = 0
+    #: (cumulative patterns, cumulative coverage) after each batch.
+    coverage_curve: list[tuple[int, float]] = field(default_factory=list)
+    #: Patterns that detected at least one new fault (test set).
+    effective_patterns: list[dict[str, int]] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        if self.total_faults == 0:
+            return 1.0
+        return len(self.detected) / self.total_faults
+
+
+def random_pattern_fault_sim(
+    view: CombinationalView,
+    faults: Sequence[Fault],
+    *,
+    rng: np.random.Generator,
+    max_patterns: int = 4096,
+    batch_size: int = 64,
+    target_coverage: float | None = None,
+) -> FaultSimResult:
+    """Random-pattern fault simulation with fault dropping.
+
+    Applies batches of random patterns until ``max_patterns`` is
+    reached or ``target_coverage`` is met; detected faults are dropped
+    from further simulation.
+    """
+    result = FaultSimResult(total_faults=len(faults))
+    remaining: list[Fault] = list(faults)
+    while result.patterns_applied < max_patterns and remaining:
+        width = min(batch_size, max_patterns - result.patterns_applied)
+        packed = view.random_patterns(rng, width)
+        good = view.evaluate(packed, width)
+        newly_detected: set[Fault] = set()
+        detecting_bits = 0
+        for fault in remaining:
+            hit = view.detect_mask(fault, good, width)
+            if hit:
+                newly_detected.add(fault)
+                detecting_bits |= hit & (-hit)  # keep first detecting pattern
+        remaining = [f for f in remaining if f not in newly_detected]
+        result.detected |= newly_detected
+        result.patterns_applied += width
+        result.coverage_curve.append((result.patterns_applied, result.coverage))
+        if newly_detected:
+            result.effective_patterns.append(packed)
+        if target_coverage is not None and result.coverage >= target_coverage:
+            break
+    return result
+
+
+def simulate_single_pattern(
+    view: CombinationalView,
+    pattern: Mapping[str, int],
+    faults: Iterable[Fault],
+) -> set[Fault]:
+    """Which of ``faults`` does one (unpacked, 1-bit) pattern detect?"""
+    good = view.evaluate(pattern, 1)
+    return {f for f in faults if view.detect_mask(f, good, 1)}

@@ -1,0 +1,266 @@
+"""PODEM deterministic test-pattern generation.
+
+A faithful, generic implementation of Goel's PODEM algorithm on the
+full-scan combinational view: decisions are made only on (pseudo)
+primary inputs, objectives are derived from fault activation and the
+D-frontier, and a bounded backtrack search either produces a test
+pattern, proves the fault untestable (decision tree exhausted), or
+aborts at the backtrack limit.
+
+Gate evaluation is truth-table based, so the algorithm works for every
+cell in the library (AOI/OAI/MUX included) without per-family code.
+Values are three-valued (0, 1, unknown) tracked separately for the
+good and the faulty circuit -- the classic D notation, where a net
+with good=1/faulty=0 carries ``D`` and good=0/faulty=1 carries ``D'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .faults import Fault
+from .faultsim import CombinationalView
+
+_UNKNOWN = None
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    fault: Fault
+    status: str  # "detected" | "untestable" | "aborted"
+    pattern: dict[str, int] | None = None
+    decisions: int = 0
+    backtracks: int = 0
+
+
+class Podem:
+    """PODEM engine bound to one combinational view."""
+
+    def __init__(self, view: CombinationalView, *, backtrack_limit: int = 256):
+        self.view = view
+        self.backtrack_limit = backtrack_limit
+        module = view.module
+        self._order = module.topological_combinational_order()
+        self._pi_set = set(view.pseudo_inputs)
+        self._po_set = set(view.pseudo_outputs)
+
+    # -- three-valued gate evaluation ----------------------------------
+
+    def _eval_gate(self, inst, in_values: list[Optional[int]]) -> Optional[int]:
+        """Evaluate one gate with possibly-unknown inputs.
+
+        Returns 0/1 when every completion of the unknown inputs agrees,
+        else ``None``.
+        """
+        minterms = self.view._minterms[inst.cell.name]
+        n = len(in_values)
+        unknown = [k for k, v in enumerate(in_values) if v is _UNKNOWN]
+        if not unknown:
+            key = tuple(in_values)
+            return 1 if key in minterms else 0
+        if len(unknown) > 8:
+            return _UNKNOWN  # give up early; never happens with <=5-input cells
+        seen0 = seen1 = False
+        for fill in range(1 << len(unknown)):
+            candidate = list(in_values)
+            for bit_index, pos in enumerate(unknown):
+                candidate[pos] = (fill >> bit_index) & 1
+            if tuple(candidate) in minterms:
+                seen1 = True
+            else:
+                seen0 = True
+            if seen0 and seen1:
+                return _UNKNOWN
+        return 1 if seen1 else 0
+
+    # -- full-circuit implication ---------------------------------------
+
+    def _simulate(
+        self, fault: Fault, assignment: dict[str, int]
+    ) -> tuple[dict[str, Optional[int]], dict[str, Optional[int]]]:
+        """Three-valued simulation of the good and faulty circuits."""
+        good: dict[str, Optional[int]] = {}
+        faulty: dict[str, Optional[int]] = {}
+        for net in self.view.pseudo_inputs:
+            value = assignment.get(net, _UNKNOWN)
+            good[net] = value
+            faulty[net] = value
+        site = self.view.module.instances[fault.instance]
+        for inst in self._order:
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            g_in = [good.get(inst.net_of(p), _UNKNOWN)
+                    for p in inst.cell.input_pins]
+            f_in = [faulty.get(inst.net_of(p), _UNKNOWN)
+                    for p in inst.cell.input_pins]
+            if inst is site and inst.cell.pin(fault.pin).direction == "input":
+                pin_index = inst.cell.input_pins.index(fault.pin)
+                f_in[pin_index] = fault.stuck_at
+            good[out_net] = self._eval_gate(inst, g_in)
+            if inst is site and inst.cell.pin(fault.pin).direction == "output":
+                faulty[out_net] = fault.stuck_at
+            else:
+                faulty[out_net] = self._eval_gate(inst, f_in)
+        return good, faulty
+
+    def _site_stem_net(self, fault: Fault) -> str:
+        """The net whose good value must differ from the stuck value."""
+        inst = self.view.module.instances[fault.instance]
+        return inst.net_of(fault.pin)
+
+    def _detected(self, good, faulty) -> bool:
+        for net in self._po_set:
+            g, f = good.get(net), faulty.get(net)
+            if g is not _UNKNOWN and f is not _UNKNOWN and g != f:
+                return True
+        return False
+
+    def _d_frontier(self, fault: Fault, good, faulty):
+        """Gates with a fault effect on an input and an unknown output.
+
+        For a branch (input-pin) fault the difference first exists
+        *inside* the site gate, not on any net, so the site gate joins
+        the frontier explicitly while its output is still unknown.
+        """
+        frontier = []
+        site = self.view.module.instances[fault.instance]
+        site_is_branch = site.cell.pin(fault.pin).direction == "input"
+        for inst in self._order:
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            if good.get(out_net) is not _UNKNOWN \
+                    and faulty.get(out_net) is not _UNKNOWN:
+                continue
+            if inst is site and site_is_branch:
+                stem = good.get(self._site_stem_net(fault))
+                if stem is not _UNKNOWN and stem != fault.stuck_at:
+                    frontier.append(inst)
+                    continue
+            for pin in inst.cell.input_pins:
+                net = inst.net_of(pin)
+                g, f = faulty.get(net), good.get(net)
+                if g is not _UNKNOWN and f is not _UNKNOWN and g != f:
+                    frontier.append(inst)
+                    break
+        return frontier
+
+    # -- objective and backtrace -----------------------------------------
+
+    def _objective(self, fault: Fault, good, faulty):
+        """Next (net, value) objective, or None when stuck."""
+        stem = self._site_stem_net(fault)
+        stem_good = good.get(stem)
+        if stem_good is _UNKNOWN:
+            return stem, 1 - fault.stuck_at
+        if stem_good == fault.stuck_at:
+            return None  # activation impossible under current assignment
+        frontier = self._d_frontier(fault, good, faulty)
+        if not frontier:
+            return None
+        gate = frontier[0]
+        for pin in gate.cell.input_pins:
+            net = gate.net_of(pin)
+            if good.get(net) is _UNKNOWN:
+                # Aim for the value most likely to propagate: the
+                # non-controlling value.  Generically: try 1 first for
+                # AND-like cells, 0 for OR-like; approximate via the
+                # fraction of minterms (cells rich in 1s want 0s...).
+                minterms = self.view._minterms[gate.cell.name]
+                rows = 1 << len(gate.cell.input_pins)
+                want = 1 if len(minterms) <= rows // 2 else 0
+                return net, want
+        return None
+
+    def _backtrace(self, net: str, value: int, good) -> tuple[str, int]:
+        """Walk an objective back to an unassigned primary input."""
+        module = self.view.module
+        current_net, current_value = net, value
+        for _ in range(len(self._order) + 8):
+            if current_net in self._pi_set:
+                return current_net, current_value
+            driver = module.nets[current_net].driver
+            if driver is None:
+                return current_net, current_value  # dangling: treat as PI
+            inst = module.instances[driver.instance]
+            if inst.cell.is_sequential:
+                return current_net, current_value
+            unknown_pins = [
+                p for p in inst.cell.input_pins
+                if good.get(inst.net_of(p)) is _UNKNOWN
+            ]
+            if not unknown_pins:
+                # Everything below is assigned; can't influence further.
+                return current_net, current_value
+            pin = unknown_pins[0]
+            pin_index = inst.cell.input_pins.index(pin)
+            # Choose the input value that can still yield the desired
+            # output given the currently-known inputs.
+            desired = self._choose_input_value(
+                inst, pin_index, current_value, good
+            )
+            current_net = inst.net_of(pin)
+            current_value = desired
+        return current_net, current_value
+
+    def _choose_input_value(self, inst, pin_index, desired_output, good) -> int:
+        minterms = set(self.view._minterms[inst.cell.name])
+        pins = inst.cell.input_pins
+        known = {
+            k: good.get(inst.net_of(p))
+            for k, p in enumerate(pins)
+            if good.get(inst.net_of(p)) is not _UNKNOWN
+        }
+        for candidate in (1, 0):
+            trial = dict(known)
+            trial[pin_index] = candidate
+            free = [k for k in range(len(pins)) if k not in trial]
+            for fill in range(1 << len(free)):
+                row = dict(trial)
+                for bit_index, pos in enumerate(free):
+                    row[pos] = (fill >> bit_index) & 1
+                key = tuple(row[k] for k in range(len(pins)))
+                output = 1 if key in minterms else 0
+                if output == desired_output:
+                    return candidate
+        return 1  # arbitrary; backtracking will recover
+
+    # -- main loop --------------------------------------------------------
+
+    def generate(self, fault: Fault) -> PodemResult:
+        """Run PODEM for one fault."""
+        assignment: dict[str, int] = {}
+        decision_stack: list[tuple[str, int, bool]] = []  # (pi, value, flipped)
+        decisions = backtracks = 0
+
+        while True:
+            good, faulty = self._simulate(fault, assignment)
+            if self._detected(good, faulty):
+                return PodemResult(fault, "detected", dict(assignment),
+                                   decisions, backtracks)
+            objective = self._objective(fault, good, faulty)
+            if objective is not None:
+                net, value = objective
+                pi, pi_value = self._backtrace(net, value, good)
+                if pi not in self._pi_set or pi in assignment:
+                    objective = None  # backtrace failed; treat as conflict
+                else:
+                    assignment[pi] = pi_value
+                    decision_stack.append((pi, pi_value, False))
+                    decisions += 1
+                    continue
+            # Conflict: flip the most recent unflipped decision.
+            while decision_stack:
+                pi, value, flipped = decision_stack.pop()
+                del assignment[pi]
+                if not flipped:
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return PodemResult(fault, "aborted", None,
+                                           decisions, backtracks)
+                    assignment[pi] = 1 - value
+                    decision_stack.append((pi, 1 - value, True))
+                    break
+            else:
+                return PodemResult(fault, "untestable", None,
+                                   decisions, backtracks)

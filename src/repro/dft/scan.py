@@ -1,0 +1,232 @@
+"""Scan insertion.
+
+Replaces every plain flip-flop in a module with its scan-equivalent
+cell and stitches the scan flops into shift chains, adding
+``scan_in<k>`` / ``scan_out<k>`` / ``scan_en`` ports.  This mirrors the
+paper's Section-3 flow step "after scan insertion, the fault coverage
+was 93%".
+
+The insertion is performed on a copy by default so the functional
+netlist is preserved for equivalence checking (scan insertion must be
+formally transparent when ``scan_en`` is low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist import Logic, Module
+from ..sim import LogicSimulator
+
+#: Functional flop -> scan flop replacement map.
+_SCAN_EQUIVALENT = {"DFF": "SDFF", "DFFR": "SDFFR"}
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """One stitched scan chain: ordered flop instance names."""
+
+    index: int
+    scan_in_port: str
+    scan_out_port: str
+    flops: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.flops)
+
+
+@dataclass
+class ScanReport:
+    """Result of scan insertion."""
+
+    module_name: str
+    chains: list[ScanChain] = field(default_factory=list)
+    replaced_flops: int = 0
+    already_scan: int = 0
+    area_overhead_um2: float = 0.0
+
+    @property
+    def total_scan_flops(self) -> int:
+        return sum(len(c) for c in self.chains)
+
+    @property
+    def max_chain_length(self) -> int:
+        return max((len(c) for c in self.chains), default=0)
+
+
+def insert_scan(
+    module: Module,
+    *,
+    n_chains: int = 1,
+    in_place: bool = False,
+    chain_order: list[str] | None = None,
+) -> tuple[Module, ScanReport]:
+    """Swap flops for scan flops and stitch ``n_chains`` chains.
+
+    ``chain_order`` optionally fixes the global flop ordering (e.g. a
+    placement-aware order from :mod:`repro.physical`); default is
+    name order, which is deterministic.
+
+    Returns the scanned module and a :class:`ScanReport`.
+    """
+    if n_chains < 1:
+        raise ValueError("n_chains must be >= 1")
+    if "scan_en" in module.ports:
+        raise ValueError(
+            f"module {module.name} already contains scan infrastructure"
+        )
+    scanned = module if in_place else module.copy(module.name + "_scan")
+    report = ScanReport(module_name=scanned.name)
+
+    flop_names = [inst.name for inst in scanned.sequential_instances]
+    if chain_order is not None:
+        missing = set(flop_names) - set(chain_order)
+        if missing:
+            raise ValueError(f"chain_order missing flops: {sorted(missing)[:5]}")
+        flop_names = [n for n in chain_order if n in set(flop_names)]
+    else:
+        flop_names = sorted(flop_names)
+    if not flop_names:
+        raise ValueError(f"module {module.name} has no flip-flops to scan")
+
+    area_before = scanned.total_area_um2
+    scanned.add_port("scan_en", "input")
+
+    # Pass 1: replace every functional flop with its scan equivalent.
+    scan_flops: list[str] = []
+    for name in flop_names:
+        inst = scanned.instances[name]
+        cell_name = inst.cell.name
+        if cell_name in _SCAN_EQUIVALENT:
+            connections = dict(inst.connections)
+            scanned.remove_instance(name)
+            connections["SE"] = "scan_en"
+            connections["SI"] = f"__si_{name}"  # stitched in pass 2
+            scanned.add_instance(name, _SCAN_EQUIVALENT[cell_name], connections)
+            report.replaced_flops += 1
+        elif inst.cell.scan_in_pin is not None:
+            report.already_scan += 1
+        else:
+            raise ValueError(
+                f"no scan equivalent for cell {cell_name} (instance {name})"
+            )
+        scan_flops.append(name)
+
+    # Pass 2: stitch chains of balanced length.
+    per_chain = (len(scan_flops) + n_chains - 1) // n_chains
+    for chain_index in range(n_chains):
+        members = scan_flops[chain_index * per_chain:(chain_index + 1) * per_chain]
+        if not members:
+            break
+        si_port = f"scan_in{chain_index}"
+        so_port = f"scan_out{chain_index}"
+        scanned.add_port(si_port, "input")
+        scanned.add_port(so_port, "output")
+        previous_q = si_port
+        for name in members:
+            scanned.rewire_pin(name, "SI", previous_q)
+            previous_q = scanned.instances[name].net_of("Q")
+        scanned.add_instance(
+            f"__so_buf{chain_index}", "BUF_X2", {"A": previous_q, "Y": so_port}
+        )
+        report.chains.append(
+            ScanChain(chain_index, si_port, so_port, tuple(members))
+        )
+
+    # Drop the placeholder SI nets left over from pass 1.
+    for name in list(scanned.nets):
+        if name.startswith("__si_") and not scanned.nets[name].is_driven \
+                and scanned.nets[name].fanout == 0:
+            del scanned.nets[name]
+
+    report.area_overhead_um2 = scanned.total_area_um2 - area_before
+    return scanned, report
+
+
+def shift_in(
+    sim: LogicSimulator,
+    chain: ScanChain,
+    bits: list[Logic],
+    *,
+    clock_port: str = "clk",
+) -> None:
+    """Shift a vector into a chain (LSB enters first, ends at the
+    chain tail), leaving ``scan_en`` asserted."""
+    if len(bits) != len(chain):
+        raise ValueError(f"need {len(chain)} bits, got {len(bits)}")
+    sim.set_input("scan_en", Logic.ONE)
+    for bit in reversed(bits):
+        sim.set_input(chain.scan_in_port, bit)
+        sim.clock_edge(clock_port)
+
+
+def shift_out(
+    sim: LogicSimulator,
+    chain: ScanChain,
+    *,
+    clock_port: str = "clk",
+) -> list[Logic]:
+    """Shift the chain contents out, returning head-to-tail values."""
+    sim.set_input("scan_en", Logic.ONE)
+    sim.set_input(chain.scan_in_port, Logic.ZERO)
+    observed: list[Logic] = []
+    for _ in range(len(chain)):
+        observed.append(sim.read(chain.scan_out_port))
+        sim.clock_edge(clock_port)
+    observed.reverse()
+    return observed
+
+
+def placement_aware_chain_order(module: Module, placement) -> list[str]:
+    """Order flops by a greedy nearest-neighbour tour over placement.
+
+    Scan stitching in name order zig-zags across the die; re-ordering
+    along a short tour cuts the scan-routing wirelength substantially
+    (the "hierarchical DFT and physical implementation" coupling of
+    Section 4).  Pass the result as ``chain_order`` to
+    :func:`insert_scan`.
+    """
+    flops = [f.name for f in module.sequential_instances]
+    if not flops:
+        return []
+    remaining = set(flops)
+    # Start at the lowest-left flop.
+    current = min(remaining, key=lambda n: placement.position_um(n))
+    order = [current]
+    remaining.discard(current)
+    while remaining:
+        cx, cy = placement.position_um(current)
+        current = min(
+            remaining,
+            key=lambda n: (
+                (placement.position_um(n)[0] - cx) ** 2
+                + (placement.position_um(n)[1] - cy) ** 2
+            ),
+        )
+        order.append(current)
+        remaining.discard(current)
+    return order
+
+
+def chain_wirelength_um(order: list[str], placement) -> float:
+    """Total stitch length of a chain order under a placement."""
+    total = 0.0
+    for a, b in zip(order, order[1:]):
+        ax, ay = placement.position_um(a)
+        bx, by = placement.position_um(b)
+        total += abs(ax - bx) + abs(ay - by)
+    return total
+
+
+def chain_integrity_test(
+    sim: LogicSimulator,
+    chain: ScanChain,
+    *,
+    clock_port: str = "clk",
+) -> bool:
+    """Flush a 00110011... pattern through the chain and check it
+    emerges intact -- the standard scan-chain integrity test."""
+    pattern = [Logic((i >> 1) & 1) for i in range(len(chain))]
+    shift_in(sim, chain, pattern, clock_port=clock_port)
+    observed = shift_out(sim, chain, clock_port=clock_port)
+    return observed == pattern

@@ -1,0 +1,43 @@
+"""Digital still camera reference application."""
+
+from .playback import (
+    DisplayMode,
+    LCD_15IN,
+    PlaybackResult,
+    TV_NTSC,
+    TV_PAL,
+    downscale_nearest,
+    play_back,
+)
+from .camera import (
+    SENSOR_2MP,
+    SENSOR_3MP,
+    SdCardModel,
+    SensorConfig,
+    ShotResult,
+    ShotTiming,
+    demosaic_bilinear,
+    simulate_burst,
+    simulate_shot,
+    synthesize_bayer_frame,
+)
+
+__all__ = [
+    "SENSOR_2MP",
+    "SENSOR_3MP",
+    "SdCardModel",
+    "SensorConfig",
+    "ShotResult",
+    "ShotTiming",
+    "demosaic_bilinear",
+    "simulate_burst",
+    "simulate_shot",
+    "synthesize_bayer_frame",
+    "DisplayMode",
+    "LCD_15IN",
+    "PlaybackResult",
+    "TV_NTSC",
+    "TV_PAL",
+    "downscale_nearest",
+    "play_back",
+]

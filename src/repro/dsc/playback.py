@@ -1,0 +1,115 @@
+"""Playback path: JPEG review on the LCD and the TV output.
+
+The Section-2 IP list includes an LCD interface (+8-bit DAC) and an
+NTSC/PAL TV encoder (+10-bit video DAC) because a camera also *plays
+back*: decode the stored JPEG, downscale to the display, and hit the
+display's refresh cadence.  This module models that path, reusing the
+real codec for correctness and the hardware engine model for timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..jpeg import HardwareJpegModel, decode
+from ..jpeg.codec import JpegError
+
+
+@dataclass(frozen=True)
+class DisplayMode:
+    """One display the DSC can drive."""
+
+    name: str
+    width: int
+    height: int
+    refresh_hz: float
+    interlaced: bool = False
+
+    @property
+    def frame_budget_s(self) -> float:
+        return 1.0 / self.refresh_hz
+
+
+#: The camera's built-in 1.5" LCD.
+LCD_15IN = DisplayMode("LCD 1.5in", 280, 220, refresh_hz=60.0)
+
+#: Composite TV outputs via the NTSC/PAL encoder.
+TV_NTSC = DisplayMode("NTSC", 720, 480, refresh_hz=29.97, interlaced=True)
+TV_PAL = DisplayMode("PAL", 720, 576, refresh_hz=25.0, interlaced=True)
+
+
+def downscale_nearest(image: np.ndarray, width: int, height: int
+                      ) -> np.ndarray:
+    """Nearest-neighbour scaler (what the LCD path hardware does)."""
+    if width < 1 or height < 1:
+        raise ValueError("target dimensions must be positive")
+    src_h, src_w = image.shape[:2]
+    rows = (np.arange(height) * src_h // height).clip(0, src_h - 1)
+    cols = (np.arange(width) * src_w // width).clip(0, src_w - 1)
+    return image[rows][:, cols]
+
+
+@dataclass
+class PlaybackResult:
+    """One review-mode frame."""
+
+    display: DisplayMode
+    decode_seconds: float
+    scale_seconds: float
+    frame: np.ndarray
+    meets_refresh: bool
+
+    @property
+    def total_seconds(self) -> float:
+        return self.decode_seconds + self.scale_seconds
+
+    def format_report(self) -> str:
+        return (
+            f"{self.display.name:9s} decode {self.decode_seconds * 1e3:6.1f}"
+            f" ms + scale {self.scale_seconds * 1e3:5.1f} ms"
+            f" (budget {self.display.frame_budget_s * 1e3:5.1f} ms)"
+            f" -> {'OK' if self.meets_refresh else 'DROPS FRAMES'}"
+        )
+
+
+def play_back(
+    jpeg_stream: bytes,
+    *,
+    display: DisplayMode = LCD_15IN,
+    engine: HardwareJpegModel | None = None,
+    source_width: int | None = None,
+    source_height: int | None = None,
+) -> PlaybackResult:
+    """Decode a stored JPEG and scale it to a display.
+
+    The pixels come from the real decoder; the timing uses the
+    hardware engine at full stored resolution (pass ``source_width``/
+    ``source_height`` when the stream is a scaled-down stand-in).
+    """
+    engine = engine or HardwareJpegModel()
+    try:
+        image = decode(jpeg_stream)
+    except (JpegError, Exception) as exc:
+        raise JpegError(f"cannot play back stream: {exc}") from exc
+    height, width = image.shape[:2]
+    timing_w = source_width or width
+    timing_h = source_height or height
+    # Decode pipeline: same block throughput as encode.
+    decode_s = engine.encode_seconds(timing_w, timing_h)
+    frame = downscale_nearest(np.asarray(image), display.width,
+                              display.height)
+    # Scaler: one output pixel per clock.
+    scale_s = display.width * display.height / (engine.clock_mhz * 1e6)
+    # Review mode shows a still: the budget is one refresh period for
+    # the *scaling/display* path; decode may take a few frames but the
+    # displayed frame must then sustain refresh.
+    meets = scale_s <= display.frame_budget_s
+    return PlaybackResult(
+        display=display,
+        decode_seconds=decode_s,
+        scale_seconds=scale_s,
+        frame=frame,
+        meets_refresh=meets,
+    )

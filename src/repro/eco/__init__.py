@@ -1,0 +1,60 @@
+"""Engineering change orders: versioning, patches, timing fixes,
+spare-cell metal ECOs."""
+
+from .versioning import (
+    CHANGE_EFFORT_DAYS,
+    ChangeKind,
+    ChangeRecord,
+    DesignDatabase,
+    paper_change_counts,
+)
+from .combinational import (
+    EcoApplication,
+    EcoEdit,
+    EcoError,
+    EcoPatch,
+    apply_and_verify,
+    apply_patch,
+    random_functional_change,
+)
+from .timing_fix import (
+    TimingFixReport,
+    close_timing,
+    fix_hold,
+    fix_setup,
+)
+from .spare_cells import (
+    FULL_MASK_COST_USD,
+    METAL_ONLY_COST_FRACTION,
+    MetalEcoReport,
+    SpareCellError,
+    SpareCellPlan,
+    sprinkle_spare_cells,
+    strengthen_driver_metal_only,
+)
+
+__all__ = [
+    "CHANGE_EFFORT_DAYS",
+    "ChangeKind",
+    "ChangeRecord",
+    "DesignDatabase",
+    "paper_change_counts",
+    "EcoApplication",
+    "EcoEdit",
+    "EcoError",
+    "EcoPatch",
+    "apply_and_verify",
+    "apply_patch",
+    "random_functional_change",
+    "TimingFixReport",
+    "close_timing",
+    "fix_hold",
+    "fix_setup",
+    "FULL_MASK_COST_USD",
+    "METAL_ONLY_COST_FRACTION",
+    "MetalEcoReport",
+    "SpareCellError",
+    "SpareCellPlan",
+    "sprinkle_spare_cells",
+    "strengthen_driver_metal_only",
+]

@@ -1,0 +1,127 @@
+"""Spare cells and metal-only ECOs.
+
+The paper's production yield killer -- "insufficient driving strength
+of an output buffer in the CPU" -- was "corrected ... by means of
+metal changes to utilize the spare cells".  A metal-only ECO re-wires
+existing transistors (spare cells sprinkled at tapeout) instead of
+changing the base layers, so only the metal masks are re-made: weeks
+and a fraction of the mask cost instead of a full respin.
+
+This module sprinkles spare cells into a netlist at tapeout time and
+performs the paper's exact fix: strengthening a weak driver by
+ganging a spare buffer in parallel, expressed as a metal-only edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist import Module
+
+#: Mask set cost split (fractions of a full 0.25 um mask set).  A
+#: metal-only respin re-makes roughly the top metal masks.
+FULL_MASK_COST_USD = 250_000.0
+METAL_ONLY_COST_FRACTION = 0.18
+FULL_RESPIN_WEEKS = 10.0
+METAL_ONLY_WEEKS = 3.0
+
+
+@dataclass
+class SpareCellPlan:
+    """Where the spare cells went."""
+
+    module_name: str
+    spare_instances: list[str] = field(default_factory=list)
+
+    @property
+    def available(self) -> int:
+        return len(self.spare_instances)
+
+
+def sprinkle_spare_cells(
+    module: Module, *, count: int, prefix: str = "__spare"
+) -> SpareCellPlan:
+    """Add ``count`` uncommitted spare blocks to the netlist (in
+    place -- spares are part of the tapeout database)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    plan = SpareCellPlan(module.name)
+    for index in range(count):
+        name = f"{prefix}{index}"
+        module.add_instance(name, "SPARE_BLOCK", {"Y": f"{name}_nc"})
+        plan.spare_instances.append(name)
+    return plan
+
+
+@dataclass
+class MetalEcoReport:
+    """Result of one metal-only fix."""
+
+    description: str
+    spares_consumed: int
+    cells_modified: int
+    mask_cost_usd: float
+    turnaround_weeks: float
+    full_respin_cost_usd: float = FULL_MASK_COST_USD
+    full_respin_weeks: float = FULL_RESPIN_WEEKS
+
+    @property
+    def cost_saving_usd(self) -> float:
+        return self.full_respin_cost_usd - self.mask_cost_usd
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                f"Metal-only ECO: {self.description}",
+                f"  spares consumed : {self.spares_consumed}",
+                f"  cells modified  : {self.cells_modified}",
+                f"  mask cost       : ${self.mask_cost_usd:,.0f}"
+                f" (vs ${self.full_respin_cost_usd:,.0f} full respin)",
+                f"  turnaround      : {self.turnaround_weeks:.0f} weeks"
+                f" (vs {self.full_respin_weeks:.0f})",
+            ]
+        )
+
+
+class SpareCellError(Exception):
+    """Not enough spares or an impossible metal fix."""
+
+
+def strengthen_driver_metal_only(
+    module: Module,
+    plan: SpareCellPlan,
+    instance: str,
+    *,
+    description: str = "",
+) -> MetalEcoReport:
+    """The paper's yield fix: boost a weak driver using spare devices.
+
+    Electrically the fix gangs spare transistors in parallel with the
+    existing driver; in the netlist model this appears as a swap to
+    the next drive strength of the same footprint, paid for with one
+    spare cell, and costed as a metal-only mask change.
+    """
+    inst = module.instances.get(instance)
+    if inst is None:
+        raise SpareCellError(f"no instance {instance!r}")
+    if not plan.spare_instances:
+        raise SpareCellError("no spare cells left")
+    variants = module.library.drive_variants(inst.cell.footprint)
+    names = [v.name for v in variants]
+    if inst.cell.name not in names:
+        raise SpareCellError(
+            f"cell {inst.cell.name} has no drive family to grow into"
+        )
+    index = names.index(inst.cell.name)
+    if index + 1 >= len(names):
+        raise SpareCellError(f"{inst.cell.name} is already the strongest")
+    module.swap_cell(instance, names[index + 1])
+    spare = plan.spare_instances.pop()
+    module.remove_instance(spare)  # its devices are consumed by the fix
+    return MetalEcoReport(
+        description=description or f"strengthen {instance}",
+        spares_consumed=1,
+        cells_modified=1,
+        mask_cost_usd=FULL_MASK_COST_USD * METAL_ONLY_COST_FRACTION,
+        turnaround_weeks=METAL_ONLY_WEEKS,
+    )

@@ -1,0 +1,204 @@
+"""Timing-fix ECOs: setup fixing by resizing, hold fixing by delay
+insertion.
+
+Reproduces the paper's "3 ECO changes to fix setup/hold time
+violation": the engine runs STA, walks the worst violating paths, and
+applies the standard fix repertoire --
+
+* **setup**: upsize the weakest-drive cells on the critical path
+  (drive-strength swap is placement-neutral, the classic late-stage
+  fix);
+* **hold**: insert delay buffers in front of offending flop D pins.
+
+Each pass is a single ECO in the paper's counting; the report records
+how many passes a block needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist import Module
+from ..sta import TimingAnalyzer, TimingConstraints
+
+
+@dataclass
+class TimingFixReport:
+    """Outcome of a timing-closure ECO campaign."""
+
+    setup_passes: int = 0
+    hold_passes: int = 0
+    cells_resized: int = 0
+    buffers_inserted: int = 0
+    wns_before_ps: float = 0.0
+    wns_after_ps: float = 0.0
+    hold_wns_before_ps: float = 0.0
+    hold_wns_after_ps: float = 0.0
+    closed: bool = False
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "Timing ECO",
+                f"  setup passes : {self.setup_passes}"
+                f" ({self.cells_resized} cells resized)",
+                f"  hold passes  : {self.hold_passes}"
+                f" ({self.buffers_inserted} buffers)",
+                f"  setup WNS    : {self.wns_before_ps:.1f} ->"
+                f" {self.wns_after_ps:.1f} ps",
+                f"  hold WNS     : {self.hold_wns_before_ps:.1f} ->"
+                f" {self.hold_wns_after_ps:.1f} ps",
+                f"  closed       : {self.closed}",
+            ]
+        )
+
+
+def _upsize_critical_path(
+    module: Module, constraints: TimingConstraints
+) -> int:
+    """Upsize cells on the current critical path, keeping only swaps
+    that actually improve WNS.
+
+    Upsizing is not free -- a bigger cell loads its driver harder and
+    carries a larger intrinsic delay -- so every candidate swap is
+    evaluated through STA and reverted if it hurts, exactly the
+    accept-if-better loop a physical-synthesis sizer runs.
+
+    Returns the number of cells changed (0 = nothing left to do).
+    """
+    analyzer = TimingAnalyzer(module, constraints)
+    report = analyzer.analyze(with_critical_path=True)
+    if report.critical_path is None or report.wns_ps >= 0:
+        return 0
+    best_wns = report.wns_ps
+    resized = 0
+    for point in report.critical_path.points:
+        inst = module.instances.get(point.instance)
+        if inst is None or inst.cell.is_sequential:
+            continue
+        variants = module.library.drive_variants(inst.cell.footprint)
+        names = [v.name for v in variants]
+        if inst.cell.name not in names:
+            continue
+        index = names.index(inst.cell.name)
+        if index + 1 >= len(names):
+            continue
+        original = inst.cell.name
+        module.swap_cell(inst.name, names[index + 1])
+        new_wns = TimingAnalyzer(module, constraints).analyze(
+            with_critical_path=False
+        ).wns_ps
+        if new_wns > best_wns:
+            best_wns = new_wns
+            resized += 1
+        else:
+            module.swap_cell(inst.name, original)
+    return resized
+
+
+def fix_setup(
+    module: Module,
+    constraints: TimingConstraints,
+    *,
+    max_passes: int = 10,
+) -> tuple[Module, TimingFixReport]:
+    """Iteratively resize along critical paths until setup is clean.
+
+    Operates on a copy; the returned report counts passes (each pass
+    is one 'timing ECO').
+    """
+    revised = module.copy()
+    report = TimingFixReport()
+    baseline = TimingAnalyzer(revised, constraints).analyze()
+    report.wns_before_ps = baseline.wns_ps
+    report.hold_wns_before_ps = baseline.hold_wns_ps
+
+    for _ in range(max_passes):
+        sta = TimingAnalyzer(revised, constraints).analyze(
+            with_critical_path=False
+        )
+        if sta.wns_ps >= 0:
+            break
+        changed = _upsize_critical_path(revised, constraints)
+        if changed == 0:
+            break  # out of sizing headroom
+        report.setup_passes += 1
+        report.cells_resized += changed
+
+    final = TimingAnalyzer(revised, constraints).analyze()
+    report.wns_after_ps = final.wns_ps
+    report.hold_wns_after_ps = final.hold_wns_ps
+    report.closed = final.setup_clean
+    return revised, report
+
+
+def fix_hold(
+    module: Module,
+    constraints: TimingConstraints,
+    *,
+    max_passes: int = 10,
+) -> tuple[Module, TimingFixReport]:
+    """Insert delay buffers on hold-violating flop D inputs."""
+    revised = module.copy()
+    report = TimingFixReport()
+    baseline = TimingAnalyzer(revised, constraints).analyze()
+    report.wns_before_ps = baseline.wns_ps
+    report.hold_wns_before_ps = baseline.hold_wns_ps
+
+    buffer_id = 0
+    for _ in range(max_passes):
+        analyzer = TimingAnalyzer(revised, constraints)
+        min_arrivals = analyzer.compute_arrivals(worst=False, hold_mode=True)
+        offenders = []
+        for flop in revised.sequential_instances:
+            d_net = flop.net_of(flop.cell.data_pin)
+            arrival = min_arrivals.get(d_net, float("inf"))
+            if arrival < constraints.hold_ps:
+                offenders.append(flop)
+        if not offenders:
+            break
+        report.hold_passes += 1
+        for flop in offenders:
+            d_net = flop.net_of(flop.cell.data_pin)
+            new_net = f"__hold{buffer_id}"
+            revised.add_instance(
+                f"__holdbuf{buffer_id}", "BUF_X1",
+                {"A": d_net, "Y": new_net},
+            )
+            revised.rewire_pin(flop.name, flop.cell.data_pin, new_net)
+            report.buffers_inserted += 1
+            buffer_id += 1
+
+    final = TimingAnalyzer(revised, constraints).analyze()
+    report.wns_after_ps = final.wns_ps
+    report.hold_wns_after_ps = final.hold_wns_ps
+    report.closed = final.hold_clean
+    return revised, report
+
+
+def close_timing(
+    module: Module,
+    constraints: TimingConstraints,
+    *,
+    max_passes: int = 10,
+) -> tuple[Module, TimingFixReport]:
+    """Full closure: setup passes, then hold passes."""
+    revised, setup_report = fix_setup(
+        module, constraints, max_passes=max_passes
+    )
+    revised, hold_report = fix_hold(
+        revised, constraints, max_passes=max_passes
+    )
+    combined = TimingFixReport(
+        setup_passes=setup_report.setup_passes,
+        hold_passes=hold_report.hold_passes,
+        cells_resized=setup_report.cells_resized,
+        buffers_inserted=hold_report.buffers_inserted,
+        wns_before_ps=setup_report.wns_before_ps,
+        wns_after_ps=hold_report.wns_after_ps,
+        hold_wns_before_ps=setup_report.hold_wns_before_ps,
+        hold_wns_after_ps=hold_report.hold_wns_after_ps,
+        closed=hold_report.wns_after_ps >= 0
+        and hold_report.hold_wns_after_ps >= 0,
+    )
+    return revised, combined

@@ -1,0 +1,29 @@
+"""Failure analysis of field returns."""
+
+from .workflow import (
+    CurrentSinkResult,
+    FaReport,
+    FaStep,
+    FieldReturn,
+    RootCause,
+    SatInspection,
+    current_sink_test,
+    esd_signature_scan,
+    generate_returns,
+    run_failure_analysis,
+    scanning_acoustic_tomography,
+)
+
+__all__ = [
+    "CurrentSinkResult",
+    "FaReport",
+    "FaStep",
+    "FieldReturn",
+    "RootCause",
+    "SatInspection",
+    "current_sink_test",
+    "esd_signature_scan",
+    "generate_returns",
+    "run_failure_analysis",
+    "scanning_acoustic_tomography",
+]

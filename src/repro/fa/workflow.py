@@ -1,0 +1,239 @@
+"""Failure analysis of field returns (experiment E10).
+
+Section 3: "We have been requested to perform failure analysis on 20
+returned chips that have pins shorted to GND.  After checking
+substrate delaminating and popped-corner using scanning acoustics
+tomography, we found no abnormality.  Finally, by sinking 400mA of
+current to the corresponding pin of a good chip we concluded that the
+failure was due to a system board bug."
+
+The module models that investigation as an executable elimination
+workflow: a population of returned units carries a hidden root cause;
+each analysis step produces evidence that eliminates hypotheses until
+one remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class RootCause(Enum):
+    """Hypothesis space for a pin-short field return."""
+
+    PACKAGE_DELAMINATION = "package_delamination"
+    POPPED_CORNER = "popped_corner"
+    DIE_ESD_DAMAGE = "die_esd_damage"
+    WEAK_DRIVER_OVERSTRESS = "weak_driver_overstress"
+    SYSTEM_BOARD_BUG = "system_board_bug"
+
+
+@dataclass(frozen=True)
+class FieldReturn:
+    """One returned unit with its (hidden) truth."""
+
+    serial: str
+    reported_symptom: str
+    true_cause: RootCause
+    shorted_pin: str
+
+
+def generate_returns(
+    *,
+    count: int = 20,
+    true_cause: RootCause = RootCause.SYSTEM_BOARD_BUG,
+    pin: str = "lcd_d3",
+    seed: int = 0,
+) -> list[FieldReturn]:
+    """The paper's return population: 20 units, pins shorted to GND."""
+    rng = np.random.default_rng(seed)
+    return [
+        FieldReturn(
+            serial=f"RU{rng.integers(10_000, 99_999)}",
+            reported_symptom="pin shorted to GND",
+            true_cause=true_cause,
+            shorted_pin=pin,
+        )
+        for _ in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Analysis instruments
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SatInspection:
+    """Scanning acoustic tomography result for one unit."""
+
+    serial: str
+    delamination: bool
+    popped_corner: bool
+
+    @property
+    def abnormal(self) -> bool:
+        return self.delamination or self.popped_corner
+
+
+def scanning_acoustic_tomography(
+    unit: FieldReturn, rng: np.random.Generator
+) -> SatInspection:
+    """C-SAM scan: reveals package-level damage if that is the truth."""
+    if unit.true_cause is RootCause.PACKAGE_DELAMINATION:
+        return SatInspection(unit.serial, delamination=True,
+                             popped_corner=False)
+    if unit.true_cause is RootCause.POPPED_CORNER:
+        return SatInspection(unit.serial, delamination=False,
+                             popped_corner=True)
+    # Healthy package; tiny false-positive rate of the instrument.
+    false_positive = rng.random() < 0.01
+    return SatInspection(unit.serial, delamination=false_positive,
+                         popped_corner=False)
+
+
+@dataclass
+class CurrentSinkResult:
+    """Outcome of forcing current into a pin of a known-good chip."""
+
+    pin: str
+    current_ma: float
+    survived: bool
+    pin_resistance_ohm: float
+
+
+def current_sink_test(
+    pin: str,
+    current_ma: float,
+    *,
+    weak_driver: bool = False,
+    rng: np.random.Generator,
+) -> CurrentSinkResult:
+    """Sink ``current_ma`` into ``pin`` of a good chip.
+
+    A healthy 0.25 um output pad withstands hundreds of mA transient
+    sink without latching or fusing; a genuinely weak/overstressed
+    driver would fail well below 400 mA.
+    """
+    withstand_ma = rng.normal(150.0 if weak_driver else 650.0, 40.0)
+    survived = current_ma < withstand_ma
+    resistance = float(rng.normal(1.8, 0.2)) if survived else 0.05
+    return CurrentSinkResult(pin, current_ma, survived, resistance)
+
+
+def esd_signature_scan(unit: FieldReturn, rng: np.random.Generator) -> bool:
+    """Curve-trace for ESD damage signature; True = damage found."""
+    if unit.true_cause is RootCause.DIE_ESD_DAMAGE:
+        return True
+    return bool(rng.random() < 0.02)
+
+
+# ---------------------------------------------------------------------------
+# The elimination workflow
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaStep:
+    name: str
+    observation: str
+    eliminated: list[RootCause] = field(default_factory=list)
+
+
+@dataclass
+class FaReport:
+    """Full failure-analysis dossier."""
+
+    units_analysed: int
+    steps: list[FaStep] = field(default_factory=list)
+    conclusion: RootCause | None = None
+
+    def format_report(self) -> str:
+        lines = [f"Failure analysis of {self.units_analysed} returns"]
+        for step in self.steps:
+            lines.append(f"  [{step.name}] {step.observation}")
+            for cause in step.eliminated:
+                lines.append(f"      eliminates: {cause.value}")
+        if self.conclusion:
+            lines.append(f"  CONCLUSION: {self.conclusion.value}")
+        return "\n".join(lines)
+
+
+def run_failure_analysis(
+    returns: list[FieldReturn],
+    *,
+    seed: int = 0,
+    sink_current_ma: float = 400.0,
+) -> FaReport:
+    """Execute the paper's FA procedure on a return population."""
+    if not returns:
+        raise ValueError("no returned units to analyse")
+    rng = np.random.default_rng(seed)
+    report = FaReport(units_analysed=len(returns))
+    hypotheses = set(RootCause)
+
+    # Step 1: C-SAM on every unit -- package damage?
+    scans = [scanning_acoustic_tomography(u, rng) for u in returns]
+    abnormal = sum(1 for s in scans if s.abnormal)
+    if abnormal <= max(1, len(returns) // 10):  # instrument noise floor
+        step = FaStep(
+            "scanning acoustic tomography",
+            f"{abnormal}/{len(returns)} units show any package anomaly "
+            "-- no systematic delamination or popped corner",
+            eliminated=[RootCause.PACKAGE_DELAMINATION,
+                        RootCause.POPPED_CORNER],
+        )
+        hypotheses -= {RootCause.PACKAGE_DELAMINATION,
+                       RootCause.POPPED_CORNER}
+    else:
+        step = FaStep(
+            "scanning acoustic tomography",
+            f"{abnormal}/{len(returns)} units show package damage",
+            eliminated=[],
+        )
+    report.steps.append(step)
+
+    # Step 2: ESD signature curve tracing on the returned units.
+    esd_hits = sum(1 for u in returns if esd_signature_scan(u, rng))
+    if esd_hits <= max(1, len(returns) // 10):
+        report.steps.append(
+            FaStep(
+                "ESD curve trace",
+                f"{esd_hits}/{len(returns)} units show an ESD signature",
+                eliminated=[RootCause.DIE_ESD_DAMAGE],
+            )
+        )
+        hypotheses.discard(RootCause.DIE_ESD_DAMAGE)
+
+    # Step 3: the decisive experiment -- sink 400 mA into the pin of a
+    # KNOWN GOOD chip.  If the good chip shrugs it off, the driver is
+    # not marginal and the short seen in the field is external.
+    sink = current_sink_test(
+        returns[0].shorted_pin, sink_current_ma, weak_driver=False, rng=rng
+    )
+    if sink.survived:
+        report.steps.append(
+            FaStep(
+                "current sink on good chip",
+                f"good chip sinks {sink_current_ma:.0f} mA on pin "
+                f"{sink.pin} without damage "
+                f"(pin resistance {sink.pin_resistance_ohm:.2f} ohm after)",
+                eliminated=[RootCause.WEAK_DRIVER_OVERSTRESS],
+            )
+        )
+        hypotheses.discard(RootCause.WEAK_DRIVER_OVERSTRESS)
+    else:
+        report.steps.append(
+            FaStep(
+                "current sink on good chip",
+                f"good chip FAILED at {sink_current_ma:.0f} mA "
+                f"-- driver is marginal",
+                eliminated=[RootCause.SYSTEM_BOARD_BUG],
+            )
+        )
+        hypotheses.discard(RootCause.SYSTEM_BOARD_BUG)
+
+    if len(hypotheses) == 1:
+        report.conclusion = next(iter(hypotheses))
+    return report

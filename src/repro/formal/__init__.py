@@ -1,0 +1,15 @@
+"""Formal verification: combinational and sequential equivalence."""
+
+from .equivalence import (
+    EquivalenceResult,
+    InterfaceMismatch,
+    check_combinational_equivalence,
+    check_sequential_burn_in,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "InterfaceMismatch",
+    "check_combinational_equivalence",
+    "check_sequential_burn_in",
+]

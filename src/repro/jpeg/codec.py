@@ -1,0 +1,475 @@
+"""Baseline sequential JPEG encoder and decoder (JFIF bytestreams).
+
+This is the algorithmic reference for the SoC's hardwired JPEG engine:
+a complete ITU-T T.81 baseline codec -- level shift, 8x8 DCT,
+quantisation, zig-zag, run-length and Huffman entropy coding, JFIF
+marker framing -- supporting grayscale and YCbCr 4:2:0 colour.
+Streams produced here are standard-compliant baseline JPEG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .color import (
+    pad_to_multiple,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from .dct import forward_dct_blocks, inverse_dct_blocks
+from .huffman import (
+    AC_CHROMA,
+    AC_LUMA,
+    BitReader,
+    BitWriter,
+    DC_CHROMA,
+    DC_LUMA,
+    TABLE_SPECS,
+    amplitude_bits,
+    amplitude_decode,
+)
+from .quant import CHROMA_BASE, LUMA_BASE, dequantise, quantise, scale_table
+from .zigzag import from_zigzag, run_length_encode, to_zigzag
+
+# Marker bytes.
+_SOI = b"\xff\xd8"
+_EOI = b"\xff\xd9"
+_APP0 = 0xE0
+_DQT = 0xDB
+_SOF0 = 0xC0
+_DHT = 0xC4
+_SOS = 0xDA
+
+
+class JpegError(Exception):
+    """Malformed stream or unsupported feature."""
+
+
+@dataclass(frozen=True)
+class EncodeStats:
+    """Byte/bit accounting for one encode."""
+
+    width: int
+    height: int
+    components: int
+    quality: int
+    compressed_bytes: int
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def bits_per_pixel(self) -> float:
+        return self.compressed_bytes * 8.0 / max(self.pixels, 1)
+
+    @property
+    def compression_ratio(self) -> float:
+        raw = self.pixels * self.components
+        return raw / max(self.compressed_bytes, 1)
+
+
+# ---------------------------------------------------------------------------
+# Block-level helpers
+# ---------------------------------------------------------------------------
+
+def _encode_plane_blocks(
+    plane: np.ndarray, table: np.ndarray
+) -> np.ndarray:
+    """Level shift, DCT and quantise a padded plane.
+
+    Returns quantised coefficient blocks of shape (rows, cols, 8, 8).
+    """
+    coefficients = forward_dct_blocks(plane - 128.0)
+    return quantise(coefficients, table)
+
+
+def _decode_plane_blocks(
+    blocks: np.ndarray, table: np.ndarray
+) -> np.ndarray:
+    """Dequantise, inverse DCT and un-level-shift into a plane."""
+    spatial = inverse_dct_blocks(dequantise(blocks, table))
+    return np.clip(spatial + 128.0, 0.0, 255.0)
+
+
+def _write_block(
+    writer: BitWriter,
+    block: np.ndarray,
+    dc_predictor: int,
+    dc_table,
+    ac_table,
+) -> int:
+    """Entropy-encode one quantised block; returns the new predictor."""
+    vector = to_zigzag(block)
+    dc = int(vector[0])
+    diff = dc - dc_predictor
+    bits, size = amplitude_bits(diff)
+    code, length = dc_table.encode(size)
+    writer.write(code, length)
+    writer.write(bits, size)
+    for symbol in run_length_encode(vector):
+        bits, size = amplitude_bits(symbol.value)
+        code, length = ac_table.encode((symbol.run << 4) | size)
+        writer.write(code, length)
+        writer.write(bits, size)
+    return dc
+
+
+def _read_block(reader: BitReader, dc_predictor: int, dc_table, ac_table
+                ) -> tuple[np.ndarray, int]:
+    """Entropy-decode one block; returns (block, new predictor)."""
+    size = reader.read_symbol(dc_table)
+    diff = amplitude_decode(reader.read(size), size)
+    dc = dc_predictor + diff
+    vector = np.zeros(64, dtype=np.int32)
+    vector[0] = dc
+    position = 1
+    while position < 64:
+        symbol = reader.read_symbol(ac_table)
+        run, size = symbol >> 4, symbol & 0xF
+        if size == 0:
+            if run == 0:
+                break  # EOB
+            if run == 15:
+                position += 16  # ZRL
+                continue
+            raise JpegError(f"illegal AC symbol {symbol:#x}")
+        position += run
+        if position >= 64:
+            raise JpegError("AC coefficient index overflow")
+        vector[position] = amplitude_decode(reader.read(size), size)
+        position += 1
+    return from_zigzag(vector), dc
+
+
+# ---------------------------------------------------------------------------
+# Marker segments
+# ---------------------------------------------------------------------------
+
+def _segment(marker: int, payload: bytes) -> bytes:
+    return bytes([0xFF, marker]) + (len(payload) + 2).to_bytes(2, "big") + payload
+
+
+def _app0_jfif() -> bytes:
+    return _segment(_APP0, b"JFIF\x00\x01\x02\x00\x00\x01\x00\x01\x00\x00")
+
+
+def _dqt_segment(table_id: int, table: np.ndarray) -> bytes:
+    payload = bytes([table_id]) + bytes(
+        int(table.reshape(64)[i]) for i in _zigzag_flat()
+    )
+    return _segment(_DQT, payload)
+
+
+def _zigzag_flat() -> list[int]:
+    from .zigzag import ZIGZAG
+
+    return [r * 8 + c for r, c in ZIGZAG]
+
+
+def _sof0_segment(width: int, height: int, components: list[tuple[int, int, int]]
+                  ) -> bytes:
+    payload = bytearray([8])
+    payload += height.to_bytes(2, "big") + width.to_bytes(2, "big")
+    payload.append(len(components))
+    for component_id, sampling, q_table in components:
+        payload += bytes([component_id, sampling, q_table])
+    return _segment(_SOF0, bytes(payload))
+
+
+def _dht_segment(table_class: int, table_id: int, spec_name: str) -> bytes:
+    bits, values = TABLE_SPECS[spec_name]
+    payload = bytes([(table_class << 4) | table_id]) + bytes(bits) + bytes(values)
+    return _segment(_DHT, payload)
+
+
+def _sos_segment(component_tables: list[tuple[int, int, int]]) -> bytes:
+    payload = bytearray([len(component_tables)])
+    for component_id, dc_id, ac_id in component_tables:
+        payload += bytes([component_id, (dc_id << 4) | ac_id])
+    payload += bytes([0, 63, 0])
+    return _segment(_SOS, bytes(payload))
+
+
+# ---------------------------------------------------------------------------
+# Public encoders
+# ---------------------------------------------------------------------------
+
+def encode_grayscale(image: np.ndarray, *, quality: int = 75
+                     ) -> tuple[bytes, EncodeStats]:
+    """Encode a (H, W) uint8/float plane as a baseline JFIF stream."""
+    if image.ndim != 2:
+        raise ValueError("grayscale encoder expects a 2-D array")
+    height, width = image.shape
+    table = scale_table(LUMA_BASE, quality)
+    plane = pad_to_multiple(image.astype(np.float64), 8)
+    blocks = _encode_plane_blocks(plane, table)
+
+    writer = BitWriter()
+    predictor = 0
+    rows, cols = blocks.shape[:2]
+    for row in range(rows):
+        for col in range(cols):
+            predictor = _write_block(
+                writer, blocks[row, col], predictor, DC_LUMA, AC_LUMA
+            )
+    entropy = writer.flush()
+
+    stream = b"".join(
+        [
+            _SOI,
+            _app0_jfif(),
+            _dqt_segment(0, table),
+            _sof0_segment(width, height, [(1, 0x11, 0)]),
+            _dht_segment(0, 0, "dc_luma"),
+            _dht_segment(1, 0, "ac_luma"),
+            _sos_segment([(1, 0, 0)]),
+            entropy,
+            _EOI,
+        ]
+    )
+    stats = EncodeStats(width, height, 1, quality, len(stream))
+    return stream, stats
+
+
+def encode_color(rgb: np.ndarray, *, quality: int = 75
+                 ) -> tuple[bytes, EncodeStats]:
+    """Encode an (H, W, 3) RGB image as baseline 4:2:0 JFIF."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError("colour encoder expects an (H, W, 3) array")
+    height, width = rgb.shape[:2]
+    ycbcr = rgb_to_ycbcr(rgb)
+    luma_table = scale_table(LUMA_BASE, quality)
+    chroma_table = scale_table(CHROMA_BASE, quality)
+
+    y_plane = pad_to_multiple(ycbcr[..., 0], 16)
+    cb_full = pad_to_multiple(ycbcr[..., 1], 16)
+    cr_full = pad_to_multiple(ycbcr[..., 2], 16)
+    cb_plane = subsample_420(cb_full)
+    cr_plane = subsample_420(cr_full)
+
+    y_blocks = _encode_plane_blocks(y_plane, luma_table)
+    cb_blocks = _encode_plane_blocks(cb_plane, chroma_table)
+    cr_blocks = _encode_plane_blocks(cr_plane, chroma_table)
+
+    writer = BitWriter()
+    predictors = {"y": 0, "cb": 0, "cr": 0}
+    mcu_rows = y_plane.shape[0] // 16
+    mcu_cols = y_plane.shape[1] // 16
+    for mcu_row in range(mcu_rows):
+        for mcu_col in range(mcu_cols):
+            for sub_row in range(2):
+                for sub_col in range(2):
+                    predictors["y"] = _write_block(
+                        writer,
+                        y_blocks[mcu_row * 2 + sub_row, mcu_col * 2 + sub_col],
+                        predictors["y"], DC_LUMA, AC_LUMA,
+                    )
+            predictors["cb"] = _write_block(
+                writer, cb_blocks[mcu_row, mcu_col], predictors["cb"],
+                DC_CHROMA, AC_CHROMA,
+            )
+            predictors["cr"] = _write_block(
+                writer, cr_blocks[mcu_row, mcu_col], predictors["cr"],
+                DC_CHROMA, AC_CHROMA,
+            )
+    entropy = writer.flush()
+
+    stream = b"".join(
+        [
+            _SOI,
+            _app0_jfif(),
+            _dqt_segment(0, luma_table),
+            _dqt_segment(1, chroma_table),
+            _sof0_segment(width, height,
+                          [(1, 0x22, 0), (2, 0x11, 1), (3, 0x11, 1)]),
+            _dht_segment(0, 0, "dc_luma"),
+            _dht_segment(1, 0, "ac_luma"),
+            _dht_segment(0, 1, "dc_chroma"),
+            _dht_segment(1, 1, "ac_chroma"),
+            _sos_segment([(1, 0, 0), (2, 1, 1), (3, 1, 1)]),
+            entropy,
+            _EOI,
+        ]
+    )
+    stats = EncodeStats(width, height, 3, quality, len(stream))
+    return stream, stats
+
+
+# ---------------------------------------------------------------------------
+# Decoder
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Component:
+    component_id: int
+    h_sampling: int
+    v_sampling: int
+    q_table_id: int
+    dc_table_id: int = 0
+    ac_table_id: int = 0
+
+
+def decode(stream: bytes) -> np.ndarray:
+    """Decode a baseline JFIF stream produced by this codec.
+
+    Returns (H, W) for grayscale or (H, W, 3) RGB for colour images.
+    Supports 1-component and 3-component 4:2:0 / 4:4:4 baseline scans
+    without restart markers.
+    """
+    if stream[:2] != _SOI:
+        raise JpegError("missing SOI marker")
+    position = 2
+    q_tables: dict[int, np.ndarray] = {}
+    huffman: dict[tuple[int, int], object] = {}
+    components: list[_Component] = []
+    width = height = 0
+    entropy_start = None
+
+    from .huffman import HuffmanTable
+
+    zigzag_flat = _zigzag_flat()
+    while position < len(stream):
+        if stream[position] != 0xFF:
+            raise JpegError(f"expected marker at offset {position}")
+        marker = stream[position + 1]
+        position += 2
+        if marker == 0xD9:  # EOI
+            break
+        length = int.from_bytes(stream[position:position + 2], "big")
+        payload = stream[position + 2:position + length]
+        position += length
+        if marker == _DQT:
+            offset = 0
+            while offset < len(payload):
+                table_id = payload[offset] & 0xF
+                precision = payload[offset] >> 4
+                if precision != 0:
+                    raise JpegError("16-bit quant tables unsupported")
+                flat = np.zeros(64, dtype=np.int32)
+                for k in range(64):
+                    flat[zigzag_flat[k]] = payload[offset + 1 + k]
+                q_tables[table_id] = flat.reshape(8, 8)
+                offset += 65
+        elif marker == _SOF0:
+            height = int.from_bytes(payload[1:3], "big")
+            width = int.from_bytes(payload[3:5], "big")
+            count = payload[5]
+            for k in range(count):
+                base = 6 + 3 * k
+                sampling = payload[base + 1]
+                components.append(
+                    _Component(
+                        component_id=payload[base],
+                        h_sampling=sampling >> 4,
+                        v_sampling=sampling & 0xF,
+                        q_table_id=payload[base + 2],
+                    )
+                )
+        elif marker == _DHT:
+            offset = 0
+            while offset < len(payload):
+                table_class = payload[offset] >> 4
+                table_id = payload[offset] & 0xF
+                bits = list(payload[offset + 1:offset + 17])
+                count = sum(bits)
+                values = list(payload[offset + 17:offset + 17 + count])
+                huffman[(table_class, table_id)] = HuffmanTable.from_spec(
+                    f"dht{table_class}{table_id}", bits, values
+                )
+                offset += 17 + count
+        elif marker == _SOS:
+            count = payload[0]
+            for k in range(count):
+                component_id = payload[1 + 2 * k]
+                tables = payload[2 + 2 * k]
+                for component in components:
+                    if component.component_id == component_id:
+                        component.dc_table_id = tables >> 4
+                        component.ac_table_id = tables & 0xF
+            entropy_start = position
+            break
+        elif marker in (0xC1, 0xC2, 0xC3, 0xC5, 0xC6, 0xC7):
+            raise JpegError("only baseline sequential (SOF0) is supported")
+        # APPn/COM and others: skipped.
+    if entropy_start is None:
+        raise JpegError("no SOS marker found")
+    entropy_end = stream.rfind(_EOI)
+    if entropy_end < 0:
+        raise JpegError("missing EOI marker")
+    reader = BitReader(stream[entropy_start:entropy_end])
+
+    h_max = max(c.h_sampling for c in components)
+    v_max = max(c.v_sampling for c in components)
+    mcu_width = 8 * h_max
+    mcu_height = 8 * v_max
+    mcu_cols = -(-width // mcu_width)
+    mcu_rows = -(-height // mcu_height)
+
+    planes: dict[int, np.ndarray] = {}
+    block_grids: dict[int, np.ndarray] = {}
+    for component in components:
+        rows = mcu_rows * component.v_sampling
+        cols = mcu_cols * component.h_sampling
+        block_grids[component.component_id] = np.zeros(
+            (rows, cols, 8, 8), dtype=np.int32
+        )
+    predictors = {c.component_id: 0 for c in components}
+
+    for mcu_row in range(mcu_rows):
+        for mcu_col in range(mcu_cols):
+            for component in components:
+                dc_table = huffman[(0, component.dc_table_id)]
+                ac_table = huffman[(1, component.ac_table_id)]
+                for sub_row in range(component.v_sampling):
+                    for sub_col in range(component.h_sampling):
+                        block, predictors[component.component_id] = _read_block(
+                            reader, predictors[component.component_id],
+                            dc_table, ac_table,
+                        )
+                        grid = block_grids[component.component_id]
+                        grid[
+                            mcu_row * component.v_sampling + sub_row,
+                            mcu_col * component.h_sampling + sub_col,
+                        ] = block
+
+    for component in components:
+        table = q_tables[component.q_table_id]
+        planes[component.component_id] = _decode_plane_blocks(
+            block_grids[component.component_id], table
+        )
+
+    if len(components) == 1:
+        return planes[components[0].component_id][:height, :width]
+
+    if len(components) != 3:
+        raise JpegError(f"unsupported component count {len(components)}")
+    y_component, cb_component, cr_component = components
+    y_plane = planes[y_component.component_id]
+    cb_plane = planes[cb_component.component_id]
+    cr_plane = planes[cr_component.component_id]
+    if cb_component.h_sampling != y_component.h_sampling:
+        cb_plane = upsample_420(cb_plane)
+        cr_plane = upsample_420(cr_plane)
+    h = min(y_plane.shape[0], cb_plane.shape[0])
+    w = min(y_plane.shape[1], cb_plane.shape[1])
+    ycbcr = np.stack(
+        [y_plane[:h, :w], cb_plane[:h, :w], cr_plane[:h, :w]], axis=-1
+    )
+    return ycbcr_to_rgb(ycbcr)[:height, :width]
+
+
+def psnr(reference: np.ndarray, test: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB between two images."""
+    reference = reference.astype(np.float64)
+    test = test.astype(np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("shape mismatch")
+    mse = float(np.mean((reference - test) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)

@@ -1,0 +1,50 @@
+"""Colour-space conversion and chroma subsampling for the JPEG path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """ITU-R BT.601 full-range RGB -> YCbCr (both float64, 0..255)."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError("expected (H, W, 3) RGB array")
+    rgb = rgb.astype(np.float64)
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0
+    cr = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr`, clipped to 0..255."""
+    ycbcr = ycbcr.astype(np.float64)
+    y, cb, cr = ycbcr[..., 0], ycbcr[..., 1] - 128.0, ycbcr[..., 2] - 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 255.0)
+
+
+def subsample_420(plane: np.ndarray) -> np.ndarray:
+    """2x2 box-average chroma subsampling (dims must be even)."""
+    height, width = plane.shape
+    if height % 2 or width % 2:
+        raise ValueError("4:2:0 subsampling needs even dimensions")
+    return plane.reshape(height // 2, 2, width // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_420(plane: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour 2x upsampling (inverse of :func:`subsample_420`)."""
+    return plane.repeat(2, axis=0).repeat(2, axis=1)
+
+
+def pad_to_multiple(plane: np.ndarray, multiple: int) -> np.ndarray:
+    """Edge-replicate a plane so both dimensions divide ``multiple``."""
+    height, width = plane.shape
+    pad_h = (-height) % multiple
+    pad_w = (-width) % multiple
+    if pad_h == 0 and pad_w == 0:
+        return plane
+    return np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")

@@ -1,0 +1,59 @@
+"""8x8 forward and inverse discrete cosine transform.
+
+The hardwired JPEG engine in the paper's SoC implements the type-II
+DCT on 8x8 blocks; this is the exact (floating-point) reference model
+the hardware would be verified against, implemented as a single
+matrix product in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _dct_matrix() -> np.ndarray:
+    """Orthonormal type-II DCT matrix (8x8)."""
+    k = np.arange(BLOCK)
+    n = np.arange(BLOCK)
+    matrix = np.cos(np.pi * (2 * n[None, :] + 1) * k[:, None] / (2 * BLOCK))
+    matrix[0, :] *= np.sqrt(1.0 / BLOCK)
+    matrix[1:, :] *= np.sqrt(2.0 / BLOCK)
+    return matrix
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def forward_dct(block: np.ndarray) -> np.ndarray:
+    """2-D DCT of one 8x8 block (level-shifted samples in, coefficients out)."""
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected 8x8 block, got {block.shape}")
+    return _DCT @ block.astype(np.float64) @ _IDCT
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """2-D inverse DCT of one 8x8 coefficient block."""
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise ValueError(f"expected 8x8 block, got {coefficients.shape}")
+    return _IDCT @ coefficients.astype(np.float64) @ _DCT
+
+
+def forward_dct_blocks(plane: np.ndarray) -> np.ndarray:
+    """DCT every 8x8 tile of a (H, W) plane; H and W must be multiples
+    of 8.  Returns an array of shape (H//8, W//8, 8, 8)."""
+    height, width = plane.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError("plane dimensions must be multiples of 8")
+    tiles = plane.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+    tiles = tiles.transpose(0, 2, 1, 3).astype(np.float64)
+    return np.einsum("ij,abjk,kl->abil", _DCT, tiles, _IDCT)
+
+
+def inverse_dct_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`forward_dct_blocks`."""
+    rows, cols = blocks.shape[:2]
+    spatial = np.einsum("ij,abjk,kl->abil", _IDCT, blocks, _DCT)
+    return spatial.transpose(0, 2, 1, 3).reshape(rows * BLOCK, cols * BLOCK)

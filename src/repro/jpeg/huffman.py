@@ -1,0 +1,211 @@
+"""Baseline JPEG Huffman coding (ITU-T T.81 Annex K tables).
+
+Provides canonical code construction from (BITS, HUFFVAL) pairs, the
+four standard tables, amplitude (category) coding, and bit-level I/O
+with the 0xFF byte-stuffing rule used inside entropy-coded segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG 'SSSS' category: number of bits to represent |value|."""
+    return abs(value).bit_length()
+
+
+def amplitude_bits(value: int) -> tuple[int, int]:
+    """(bits, length) for the amplitude of a nonzero/DC-diff value."""
+    size = magnitude_category(value)
+    if size == 0:
+        return 0, 0
+    if value > 0:
+        return value, size
+    return value + (1 << size) - 1, size
+
+
+def amplitude_decode(bits: int, size: int) -> int:
+    """Invert :func:`amplitude_bits`."""
+    if size == 0:
+        return 0
+    if bits >> (size - 1):
+        return bits
+    return bits - (1 << size) + 1
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A canonical Huffman table built from BITS/HUFFVAL."""
+
+    name: str
+    encode_map: dict[int, tuple[int, int]]  # symbol -> (code, length)
+    decode_map: dict[tuple[int, int], int]  # (code, length) -> symbol
+
+    @classmethod
+    def from_spec(cls, name: str, bits: list[int], values: list[int]
+                  ) -> "HuffmanTable":
+        if len(bits) != 16:
+            raise ValueError("BITS must list counts for lengths 1..16")
+        if sum(bits) != len(values):
+            raise ValueError("HUFFVAL length disagrees with BITS")
+        encode: dict[int, tuple[int, int]] = {}
+        decode: dict[tuple[int, int], int] = {}
+        code = 0
+        index = 0
+        for length in range(1, 17):
+            for _ in range(bits[length - 1]):
+                symbol = values[index]
+                encode[symbol] = (code, length)
+                decode[(code, length)] = symbol
+                code += 1
+                index += 1
+            code <<= 1
+        return cls(name, encode, decode)
+
+    def encode(self, symbol: int) -> tuple[int, int]:
+        try:
+            return self.encode_map[symbol]
+        except KeyError:
+            raise ValueError(
+                f"symbol {symbol:#x} not in table {self.name}"
+            ) from None
+
+
+# --- Annex K standard tables ----------------------------------------------
+
+_DC_LUMA_BITS = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+_DC_LUMA_VALS = list(range(12))
+
+_DC_CHROMA_BITS = [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0]
+_DC_CHROMA_VALS = list(range(12))
+
+_AC_LUMA_BITS = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D]
+_AC_LUMA_VALS = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06,
+    0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72,
+    0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75,
+    0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3,
+    0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9,
+    0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+    0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+]
+
+_AC_CHROMA_BITS = [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77]
+_AC_CHROMA_VALS = [
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41,
+    0x51, 0x07, 0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+    0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0, 0x15, 0x62, 0x72, 0xD1,
+    0x0A, 0x16, 0x24, 0x34, 0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+    0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44,
+    0x45, 0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+    0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74,
+    0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+    0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A,
+    0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+    0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7,
+    0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+    0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF2, 0xF3, 0xF4,
+    0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+]
+
+DC_LUMA = HuffmanTable.from_spec("dc_luma", _DC_LUMA_BITS, _DC_LUMA_VALS)
+DC_CHROMA = HuffmanTable.from_spec("dc_chroma", _DC_CHROMA_BITS, _DC_CHROMA_VALS)
+AC_LUMA = HuffmanTable.from_spec("ac_luma", _AC_LUMA_BITS, _AC_LUMA_VALS)
+AC_CHROMA = HuffmanTable.from_spec("ac_chroma", _AC_CHROMA_BITS, _AC_CHROMA_VALS)
+
+#: (BITS, HUFFVAL) specs, needed to emit DHT segments.
+TABLE_SPECS = {
+    "dc_luma": (_DC_LUMA_BITS, _DC_LUMA_VALS),
+    "dc_chroma": (_DC_CHROMA_BITS, _DC_CHROMA_VALS),
+    "ac_luma": (_AC_LUMA_BITS, _AC_LUMA_VALS),
+    "ac_chroma": (_AC_CHROMA_BITS, _AC_CHROMA_VALS),
+}
+
+
+class BitWriter:
+    """MSB-first bit accumulator with JPEG 0xFF byte stuffing."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._count = 0
+
+    def write(self, bits: int, length: int) -> None:
+        if length == 0:
+            return
+        if bits >> length:
+            raise ValueError(f"{bits} does not fit in {length} bits")
+        self._accumulator = (self._accumulator << length) | bits
+        self._count += length
+        while self._count >= 8:
+            self._count -= 8
+            byte = (self._accumulator >> self._count) & 0xFF
+            self._bytes.append(byte)
+            if byte == 0xFF:
+                self._bytes.append(0x00)
+        self._accumulator &= (1 << self._count) - 1
+
+    def flush(self) -> bytes:
+        """Pad the final partial byte with 1-bits (T.81) and return all."""
+        if self._count:
+            pad = 8 - self._count
+            self.write((1 << pad) - 1, pad)
+        return bytes(self._bytes)
+
+    @property
+    def bit_count(self) -> int:
+        return len(self._bytes) * 8 + self._count
+
+
+class BitReader:
+    """MSB-first bit reader that removes 0xFF 0x00 stuffing."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+        self._accumulator = 0
+        self._count = 0
+
+    def _fill(self) -> None:
+        while self._count < 24 and self._position < len(self._data):
+            byte = self._data[self._position]
+            self._position += 1
+            if byte == 0xFF:
+                if self._position < len(self._data) \
+                        and self._data[self._position] == 0x00:
+                    self._position += 1  # drop the stuffed zero
+                else:
+                    # A marker: signal end of entropy data with 1-fill.
+                    self._position = len(self._data)
+                    byte = 0xFF
+            self._accumulator = (self._accumulator << 8) | byte
+            self._count += 8
+
+    def read(self, length: int) -> int:
+        if length == 0:
+            return 0
+        self._fill()
+        if self._count < length:
+            raise EOFError("bitstream exhausted")
+        self._count -= length
+        value = (self._accumulator >> self._count) & ((1 << length) - 1)
+        self._accumulator &= (1 << self._count) - 1
+        return value
+
+    def read_symbol(self, table: HuffmanTable) -> int:
+        """Decode one Huffman symbol (max 16-bit codes)."""
+        code = 0
+        for length in range(1, 17):
+            code = (code << 1) | self.read(1)
+            symbol = table.decode_map.get((code, length))
+            if symbol is not None:
+                return symbol
+        raise ValueError(f"invalid Huffman code in table {table.name}")

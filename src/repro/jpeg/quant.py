@@ -1,0 +1,61 @@
+"""JPEG quantisation tables and quality scaling.
+
+Tables are the ITU-T T.81 Annex K reference matrices; quality scaling
+follows the Independent JPEG Group convention (quality 1..100).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Annex K luminance quantisation matrix.
+LUMA_BASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int32,
+)
+
+#: Annex K chrominance quantisation matrix.
+CHROMA_BASE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int32,
+)
+
+
+def scale_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """IJG quality scaling: 50 returns the base table, 100 all-ones."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    table = (base * scale + 50) // 100
+    return np.clip(table, 1, 255).astype(np.int32)
+
+
+def quantise(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantise DCT coefficients (round-to-nearest)."""
+    return np.round(coefficients / table).astype(np.int32)
+
+
+def dequantise(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Invert :func:`quantise` up to rounding."""
+    return (levels * table).astype(np.float64)

@@ -1,0 +1,115 @@
+"""Zig-zag coefficient ordering and run-length symbol generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _zigzag_order() -> list[tuple[int, int]]:
+    order: list[tuple[int, int]] = []
+    row = col = 0
+    up = True
+    for _ in range(64):
+        order.append((row, col))
+        if up:
+            if col == 7:
+                row += 1
+                up = False
+            elif row == 0:
+                col += 1
+                up = False
+            else:
+                row -= 1
+                col += 1
+        else:
+            if row == 7:
+                col += 1
+                up = True
+            elif col == 0:
+                row += 1
+                up = True
+            else:
+                row += 1
+                col -= 1
+    return order
+
+
+ZIGZAG: tuple[tuple[int, int], ...] = tuple(_zigzag_order())
+_FLAT_INDEX = np.array([r * 8 + c for r, c in ZIGZAG])
+
+
+def to_zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block into its 64-entry zig-zag vector."""
+    return block.reshape(64)[_FLAT_INDEX]
+
+
+def from_zigzag(vector: np.ndarray) -> np.ndarray:
+    """Rebuild the 8x8 block from a zig-zag vector."""
+    block = np.zeros(64, dtype=vector.dtype)
+    block[_FLAT_INDEX] = vector
+    return block.reshape(8, 8)
+
+
+@dataclass(frozen=True)
+class AcSymbol:
+    """One JPEG AC entropy symbol: (run of zeros, amplitude)."""
+
+    run: int
+    value: int
+
+    @property
+    def is_eob(self) -> bool:
+        return self.run == 0 and self.value == 0
+
+    @property
+    def is_zrl(self) -> bool:
+        """The 16-zero-run escape symbol."""
+        return self.run == 15 and self.value == 0
+
+
+EOB = AcSymbol(0, 0)
+ZRL = AcSymbol(15, 0)
+
+
+def run_length_encode(zigzag_vector: np.ndarray) -> list[AcSymbol]:
+    """Encode the 63 AC coefficients as (run, value) symbols.
+
+    Runs longer than 15 emit ZRL escapes; a trailing zero tail emits a
+    single EOB, exactly per T.81.
+    """
+    symbols: list[AcSymbol] = []
+    run = 0
+    for coefficient in zigzag_vector[1:]:
+        value = int(coefficient)
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            symbols.append(ZRL)
+            run -= 16
+        symbols.append(AcSymbol(run, value))
+        run = 0
+    if run > 0:
+        symbols.append(EOB)
+    return symbols
+
+
+def run_length_decode(symbols: list[AcSymbol]) -> np.ndarray:
+    """Rebuild the 63 AC coefficients from symbols (EOB-terminated or
+    exactly full)."""
+    ac = np.zeros(63, dtype=np.int32)
+    position = 0
+    for symbol in symbols:
+        if symbol.is_eob:
+            break
+        if symbol.is_zrl:
+            position += 16
+            continue
+        position += symbol.run
+        if position >= 63:
+            raise ValueError("AC run overflows the block")
+        ac[position] = symbol.value
+        position += 1
+    return ac

@@ -1,0 +1,26 @@
+"""Low-power flow: power estimation, clock gating, multi-Vt,
+isolation."""
+
+from .power import PowerReport, VDD_V, estimate_power
+from .optimize import (
+    ClockGatingReport,
+    IsolationReport,
+    MultiVtReport,
+    PowerDomain,
+    audit_isolation,
+    insert_clock_gating,
+    multi_vt_leakage_recovery,
+)
+
+__all__ = [
+    "PowerReport",
+    "VDD_V",
+    "estimate_power",
+    "ClockGatingReport",
+    "IsolationReport",
+    "MultiVtReport",
+    "PowerDomain",
+    "audit_isolation",
+    "insert_clock_gating",
+    "multi_vt_leakage_recovery",
+]

@@ -1,0 +1,144 @@
+"""Failure Pareto analysis: how the yield killer was found.
+
+Section 3: "During mass production, manufacturing test uncovered that
+the yield killer (5% loss) was in the insufficient driving strength of
+an output buffer in the CPU."  The discovery instrument is the test
+floor's failure Pareto: classify every failing die by which test bin
+killed it, rank the bins, and a systematic mechanism stands out from
+the random-defect background.
+
+The classifier here runs the yield stack's Monte-Carlo per-die draws
+*per mechanism*, so each failing die carries its true kill reason the
+way a binned tester log does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .yield_model import YieldStack
+
+
+@dataclass
+class ParetoBin:
+    """One failure bin of the tester log."""
+
+    name: str
+    count: int
+    fraction_of_failures: float
+    fraction_of_all_dies: float
+
+
+@dataclass
+class FailurePareto:
+    """Ranked failure bins for one production sample."""
+
+    dies_tested: int
+    dies_failing: int
+    bins: list[ParetoBin] = field(default_factory=list)
+
+    @property
+    def top_bin(self) -> ParetoBin | None:
+        return self.bins[0] if self.bins else None
+
+    def bin_named(self, name: str) -> ParetoBin | None:
+        for item in self.bins:
+            if item.name == name:
+                return item
+        return None
+
+    def format_report(self) -> str:
+        lines = [
+            f"Failure Pareto ({self.dies_failing}/{self.dies_tested}"
+            f" dies failing)",
+            "  bin                      fails   %fails  %dies",
+        ]
+        for item in self.bins:
+            lines.append(
+                f"  {item.name:22s}  {item.count:6d}"
+                f"  {item.fraction_of_failures * 100:6.1f}%"
+                f"  {item.fraction_of_all_dies * 100:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def classify_failures(
+    stack: YieldStack,
+    *,
+    die_area_mm2: float,
+    n_dies: int,
+    probe_overkill: float = 0.0,
+    rng: np.random.Generator,
+) -> FailurePareto:
+    """Bin every failing die by its (first) kill mechanism.
+
+    Order of test bins mirrors a real flow: continuity/parametric
+    first, then functional (defects), then the at-speed/IO bins where
+    systematics like the weak output buffer appear, then overkill.
+    """
+    parametric_pass = stack.parametric.sample_pass(n_dies, rng)
+    defects = stack.defect.sample_defect_counts(die_area_mm2, n_dies, rng)
+    defect_pass = defects == 0
+
+    systematic_pass: dict[str, np.ndarray] = {}
+    for systematic in stack.systematics:
+        if systematic.active and systematic.loss_fraction > 0:
+            systematic_pass[systematic.name] = (
+                rng.random(n_dies) >= systematic.loss_fraction
+            )
+    overkill_pass = (
+        rng.random(n_dies) >= probe_overkill
+        if probe_overkill > 0 else np.ones(n_dies, dtype=bool)
+    )
+
+    bins: dict[str, int] = {}
+    failing = 0
+    for index in range(n_dies):
+        if not parametric_pass[index]:
+            bins["parametric (Vth/Isat)"] = bins.get(
+                "parametric (Vth/Isat)", 0) + 1
+            failing += 1
+            continue
+        if not defect_pass[index]:
+            bins["functional (defect)"] = bins.get(
+                "functional (defect)", 0) + 1
+            failing += 1
+            continue
+        killed = False
+        for name, passes in systematic_pass.items():
+            if not passes[index]:
+                bins[name] = bins.get(name, 0) + 1
+                failing += 1
+                killed = True
+                break
+        if killed:
+            continue
+        if not overkill_pass[index]:
+            bins["tester overkill"] = bins.get("tester overkill", 0) + 1
+            failing += 1
+
+    pareto = FailurePareto(dies_tested=n_dies, dies_failing=failing)
+    for name, count in sorted(bins.items(), key=lambda kv: -kv[1]):
+        pareto.bins.append(
+            ParetoBin(
+                name=name,
+                count=count,
+                fraction_of_failures=count / max(failing, 1),
+                fraction_of_all_dies=count / n_dies,
+            )
+        )
+    return pareto
+
+
+def is_systematic_suspect(
+    pareto: FailurePareto,
+    bin_name: str,
+    *,
+    min_die_fraction: float = 0.02,
+) -> bool:
+    """The yield engineer's trigger: a single named bin eating more
+    than ``min_die_fraction`` of all dies is a systematic, not noise."""
+    item = pareto.bin_named(bin_name)
+    return item is not None and item.fraction_of_all_dies >= min_die_fraction

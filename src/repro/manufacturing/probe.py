@@ -1,0 +1,98 @@
+"""Wafer-probe test model: overdrive and power-relay settling.
+
+Two of the paper's five yield-improvement measures were pure test-cell
+fixes: "optimizing probe card overdrive spec" and "optimizing power
+relay waiting time".  Both recover *overkill* -- good dies failed by
+the tester, not by silicon:
+
+* insufficient probe **overdrive** leaves some needles with marginal
+  contact resistance -> intermittent continuity fails;
+* insufficient **relay settling** starts the test before the supply is
+  stable -> false functional/IDDQ fails.
+
+The model turns each knob setting into an overkill fraction so the
+ramp simulation can apply the fixes on the paper's schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeCardSetup:
+    """Tester/prober configuration knobs."""
+
+    overdrive_um: float = 45.0          # needle overtravel
+    relay_settling_ms: float = 2.0      # wait after power relay close
+    optimal_overdrive_um: float = 75.0
+    needed_settling_ms: float = 8.0
+
+    def contact_overkill(self) -> float:
+        """Fraction of good dies lost to marginal probe contact.
+
+        Falls off smoothly as overdrive approaches the optimum; at the
+        optimum, contact loss is negligible.
+        """
+        deficit = max(0.0, self.optimal_overdrive_um - self.overdrive_um)
+        return 0.035 * (1.0 - math.exp(-deficit / 25.0))
+
+    def settling_overkill(self) -> float:
+        """Fraction of good dies lost to unstable power at test start."""
+        deficit = max(0.0, self.needed_settling_ms - self.relay_settling_ms)
+        return 0.018 * (1.0 - math.exp(-deficit / 3.0))
+
+    def total_overkill(self) -> float:
+        """Combined tester-induced yield loss."""
+        contact = self.contact_overkill()
+        settling = self.settling_overkill()
+        return 1.0 - (1.0 - contact) * (1.0 - settling)
+
+    def optimized(self) -> "ProbeCardSetup":
+        """Both measures applied: knobs at their characterised optima."""
+        return ProbeCardSetup(
+            overdrive_um=self.optimal_overdrive_um,
+            relay_settling_ms=self.needed_settling_ms,
+            optimal_overdrive_um=self.optimal_overdrive_um,
+            needed_settling_ms=self.needed_settling_ms,
+        )
+
+
+@dataclass(frozen=True)
+class ProbeTestResult:
+    """Aggregate outcome of probing one population."""
+
+    dies_tested: int
+    true_good: int
+    measured_good: int
+    overkill: int
+
+    @property
+    def true_yield(self) -> float:
+        return self.true_good / max(self.dies_tested, 1)
+
+    @property
+    def measured_yield(self) -> float:
+        return self.measured_good / max(self.dies_tested, 1)
+
+
+def probe_population(
+    true_pass: "list[bool] | object",
+    setup: ProbeCardSetup,
+    *,
+    rng,
+) -> ProbeTestResult:
+    """Apply tester overkill to a vector of true die states."""
+    import numpy as np
+
+    true_pass = np.asarray(true_pass, dtype=bool)
+    overkill_rate = setup.total_overkill()
+    kill = rng.random(true_pass.size) < overkill_rate
+    measured = true_pass & ~kill
+    return ProbeTestResult(
+        dies_tested=int(true_pass.size),
+        true_good=int(true_pass.sum()),
+        measured_good=int(measured.sum()),
+        overkill=int((true_pass & kill).sum()),
+    )

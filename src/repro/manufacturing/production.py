@@ -1,0 +1,130 @@
+"""Mass-production planning (experiment E11).
+
+Section 2 set the demand: "mass production of 3.5 million units in a
+year"; Section 4 reports the outcome: "we went on to produce over
+three millions of the chip over 18 months.  Our system customer was
+able to take about 8% of world-wide market share during that period."
+
+The simulator runs monthly wafer starts through the yield ramp of
+:mod:`repro.manufacturing.ramp`, accumulates shipped units, and
+derives the market share from a world DSC market model of the 2003-04
+era (~40-50 M units/year, growing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ramp import DSC_DIE_AREA_MM2, RampResult, simulate_ramp
+from .wafer import WaferSpec, gross_dies_per_wafer
+
+
+@dataclass(frozen=True)
+class MarketModel:
+    """World DSC market, units per month."""
+
+    base_units_per_month: float = 2.75e6  # ~33 M/year at ramp start
+    monthly_growth: float = 0.012
+
+    def units_in_month(self, month: int) -> float:
+        return self.base_units_per_month * (1 + self.monthly_growth) ** month
+
+
+@dataclass
+class ProductionPlan:
+    """Wafer starts per month."""
+
+    wafers_per_month: list[int] = field(default_factory=list)
+
+    @classmethod
+    def ramped(cls, months: int, *, peak: int, ramp_months: int = 3
+               ) -> "ProductionPlan":
+        """Linear ramp to peak starts, then flat."""
+        starts = []
+        for month in range(months):
+            if month < ramp_months:
+                starts.append(int(peak * (month + 1) / (ramp_months + 1)))
+            else:
+                starts.append(peak)
+        return cls(starts)
+
+
+@dataclass
+class ProductionResult:
+    """Monthly and cumulative output."""
+
+    months: list[int] = field(default_factory=list)
+    units_shipped: list[int] = field(default_factory=list)
+    yields: list[float] = field(default_factory=list)
+    market_share: list[float] = field(default_factory=list)
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.units_shipped)
+
+    @property
+    def mean_market_share(self) -> float:
+        if not self.market_share:
+            return 0.0
+        return sum(self.market_share) / len(self.market_share)
+
+    def format_report(self) -> str:
+        lines = [
+            "Mass production",
+            f"  total units : {self.total_units / 1e6:.2f} M over "
+            f"{len(self.months)} months",
+            f"  mean share  : {self.mean_market_share * 100:.1f}%",
+            "  month  units(K)  yield  share",
+        ]
+        for month, units, y, share in zip(
+            self.months, self.units_shipped, self.yields, self.market_share
+        ):
+            lines.append(
+                f"  {month:5d}  {units / 1e3:8.0f}  {y * 100:5.1f}%"
+                f"  {share * 100:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def simulate_production(
+    *,
+    months: int = 18,
+    plan: ProductionPlan | None = None,
+    ramp: RampResult | None = None,
+    die_area_mm2: float = DSC_DIE_AREA_MM2,
+    market: MarketModel | None = None,
+    assembly_test_yield: float = 0.985,
+    seed: int = 0,
+) -> ProductionResult:
+    """Run production against the yield ramp.
+
+    The first 8 months follow the ramp trajectory; beyond that the
+    final ramp yield holds.  Units = wafer starts x gross dies x probe
+    yield x assembly/final-test yield.
+    """
+    if plan is None:
+        # Peak sized for the ~3.5 M units/year demand at mature yield.
+        plan = ProductionPlan.ramped(months, peak=800)
+    if ramp is None:
+        ramp = simulate_ramp(seed=seed)
+    market = market or MarketModel()
+    rng = np.random.default_rng(seed + 1)
+    gross = gross_dies_per_wafer(WaferSpec(), die_area_mm2)
+
+    result = ProductionResult()
+    for month in range(months):
+        if month < len(ramp.sampled_yield):
+            month_yield = ramp.sampled_yield[month]
+        else:
+            month_yield = ramp.sampled_yield[-1]
+        wafers = plan.wafers_per_month[min(month, len(plan.wafers_per_month) - 1)]
+        good = rng.binomial(wafers * gross, month_yield)
+        shipped = int(good * assembly_test_yield)
+        share = shipped / market.units_in_month(month)
+        result.months.append(month)
+        result.units_shipped.append(shipped)
+        result.yields.append(month_yield)
+        result.market_share.append(share)
+    return result

@@ -1,0 +1,263 @@
+"""Memory-BIST architecture generation.
+
+Models the paper's in-house MBIST circuit generator: for the DSC
+controller's 30 embedded memory macros it inserted **one common BIST
+controller, multiple sequencers, and 30 pattern generators** (Section
+3).  This module reproduces that architecture decision quantitatively:
+
+* every memory gets a local pattern generator (address counter, data
+  background mux, comparator) whose gate cost is derived from real
+  generated netlists (:func:`repro.netlist.counter`), not guessed;
+* memories are clustered under shared sequencers (one per group of
+  same-protocol memories);
+* a single controller sequences the groups, either serially (minimum
+  area, longest test time) or with bounded parallelism (power-limited).
+
+``plan_bist`` compares sharing strategies so experiment E3 can report
+the area/test-time trade-off the paper's team navigated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from ..netlist import StdCellLibrary, collect_stats, counter
+from .march import MARCH_C_MINUS, MarchTest
+
+
+@dataclass(frozen=True)
+class MemoryMacro:
+    """One embedded SRAM macro on the die."""
+
+    name: str
+    words: int
+    bits: int
+    ports: int = 1
+
+    @property
+    def address_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.words)))
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.words * self.bits
+
+    @property
+    def area_um2(self) -> float:
+        """SRAM macro area: ~35 um^2/bit at 0.25 um plus periphery."""
+        return 35.0 * self.capacity_bits + 9000.0
+
+
+@dataclass
+class BistComponentCost:
+    """Gate/area cost of one BIST building block."""
+
+    name: str
+    gates: int
+    area_um2: float
+
+
+@dataclass
+class BistPlan:
+    """A complete MBIST insertion plan for a set of memories."""
+
+    sharing: str
+    march: MarchTest
+    controllers: int
+    sequencers: int
+    pattern_generators: int
+    total_gates: int
+    total_area_um2: float
+    test_cycles: int
+    memory_area_um2: float
+    groups: list[list[str]] = field(default_factory=list)
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        """BIST area relative to the memory area it tests."""
+        if self.memory_area_um2 == 0:
+            return 0.0
+        return self.total_area_um2 / self.memory_area_um2
+
+    def format_report(self) -> str:
+        lines = [
+            f"MBIST plan ({self.sharing}, {self.march.name})",
+            f"  controllers        : {self.controllers}",
+            f"  sequencers         : {self.sequencers}",
+            f"  pattern generators : {self.pattern_generators}",
+            f"  BIST gates         : {self.total_gates}",
+            f"  BIST area          : {self.total_area_um2 / 1e6:.3f} mm^2"
+            f" ({self.area_overhead_fraction * 100:.1f}% of memory area)",
+            f"  test time          : {self.test_cycles} cycles",
+        ]
+        return "\n".join(lines)
+
+
+class BistGenerator:
+    """Generates BIST plans for a list of memory macros."""
+
+    def __init__(self, library: StdCellLibrary, *,
+                 march: MarchTest = MARCH_C_MINUS) -> None:
+        self.library = library
+        self.march = march
+        self._pattern_gen_cache: dict[int, BistComponentCost] = {}
+
+    # -- component cost models -------------------------------------------
+
+    def pattern_generator_cost(self, memory: MemoryMacro) -> BistComponentCost:
+        """Cost of one per-memory pattern generator.
+
+        The dominant piece is the address counter, which we *actually
+        generate* as a netlist and measure; comparator and data mux
+        scale with word width.
+        """
+        addr_bits = memory.address_bits
+        cached = self._pattern_gen_cache.get(addr_bits)
+        if cached is None:
+            address_counter = counter(
+                f"pg_addr{addr_bits}", self.library, width=addr_bits
+            )
+            stats = collect_stats(address_counter)
+            cached = BistComponentCost(
+                f"addr_counter_{addr_bits}", stats.instance_count,
+                stats.total_area_um2,
+            )
+            self._pattern_gen_cache[addr_bits] = cached
+        # Comparator: ~3 gates/bit; background mux + control: ~4/bit.
+        datapath_gates = 7 * memory.bits + 12
+        nand_area = self.library["NAND2_X1"].area_um2
+        return BistComponentCost(
+            f"pattern_gen_{memory.name}",
+            cached.gates + datapath_gates,
+            cached.area_um2 + datapath_gates * nand_area,
+        )
+
+    def sequencer_cost(self) -> BistComponentCost:
+        """A March-element sequencer FSM (shared per memory group)."""
+        gates = 40 + 18 * len(self.march.elements)
+        nand_area = self.library["NAND2_X1"].area_um2
+        return BistComponentCost("sequencer", gates, gates * nand_area)
+
+    def controller_cost(self, n_groups: int) -> BistComponentCost:
+        """The top controller: group scheduling, result collection."""
+        gates = 120 + 25 * n_groups
+        nand_area = self.library["NAND2_X1"].area_um2
+        return BistComponentCost("controller", gates, gates * nand_area)
+
+    # -- planning -----------------------------------------------------------
+
+    def _group_memories(
+        self, memories: Sequence[MemoryMacro]
+    ) -> list[list[MemoryMacro]]:
+        """Group same-shape memories under one sequencer."""
+        groups: dict[tuple[int, int], list[MemoryMacro]] = {}
+        for memory in memories:
+            groups.setdefault((memory.words, memory.bits), []).append(memory)
+        return [groups[key] for key in sorted(groups)]
+
+    def plan(
+        self,
+        memories: Sequence[MemoryMacro],
+        *,
+        sharing: Literal["shared", "per-memory"] = "shared",
+        max_parallel_groups: int = 4,
+    ) -> BistPlan:
+        """Produce a BIST plan.
+
+        ``shared`` -- the paper's architecture: one controller, one
+        sequencer per memory-shape group, one pattern generator per
+        memory; groups run with bounded parallelism (test power).
+
+        ``per-memory`` -- the naive alternative: a full controller +
+        sequencer per memory; everything runs in parallel.
+        """
+        if not memories:
+            raise ValueError("no memories to test")
+        memory_area = sum(m.area_um2 for m in memories)
+        pattern_costs = [self.pattern_generator_cost(m) for m in memories]
+        pg_gates = sum(c.gates for c in pattern_costs)
+        pg_area = sum(c.area_um2 for c in pattern_costs)
+
+        if sharing == "per-memory":
+            seq = self.sequencer_cost()
+            ctl = self.controller_cost(1)
+            total_gates = pg_gates + len(memories) * (seq.gates + ctl.gates)
+            total_area = pg_area + len(memories) * (seq.area_um2 + ctl.area_um2)
+            # Fully parallel: the slowest memory bounds test time.
+            test_cycles = max(
+                self.march.test_cycles(m.words) for m in memories
+            )
+            return BistPlan(
+                sharing="per-memory",
+                march=self.march,
+                controllers=len(memories),
+                sequencers=len(memories),
+                pattern_generators=len(memories),
+                total_gates=total_gates,
+                total_area_um2=total_area,
+                test_cycles=test_cycles,
+                memory_area_um2=memory_area,
+                groups=[[m.name] for m in memories],
+            )
+
+        if sharing != "shared":
+            raise ValueError(f"unknown sharing strategy {sharing!r}")
+        groups = self._group_memories(memories)
+        seq = self.sequencer_cost()
+        ctl = self.controller_cost(len(groups))
+        total_gates = pg_gates + len(groups) * seq.gates + ctl.gates
+        total_area = pg_area + len(groups) * seq.area_um2 + ctl.area_um2
+        # Within a group all memories run in lockstep (same sequencer);
+        # groups are scheduled max_parallel_groups at a time.
+        group_cycles = sorted(
+            (max(self.march.test_cycles(m.words) for m in group)
+             for group in groups),
+            reverse=True,
+        )
+        test_cycles = 0
+        for start in range(0, len(group_cycles), max_parallel_groups):
+            test_cycles += group_cycles[start]  # longest of the wave
+        return BistPlan(
+            sharing="shared",
+            march=self.march,
+            controllers=1,
+            sequencers=len(groups),
+            pattern_generators=len(memories),
+            total_gates=total_gates,
+            total_area_um2=total_area,
+            test_cycles=test_cycles,
+            memory_area_um2=memory_area,
+            groups=[[m.name for m in group] for group in groups],
+        )
+
+
+def dsc_memory_set() -> list[MemoryMacro]:
+    """The 30 embedded memory macros of the DSC controller.
+
+    The paper gives only the count (30); the shapes below are a
+    representative camera-controller mix: line buffers for the image
+    pipeline, JPEG block/quant/Huffman tables, CPU caches and TCM,
+    USB/SD FIFOs, display buffers.
+    """
+    memories: list[MemoryMacro] = []
+
+    def add(prefix: str, count: int, words: int, bits: int) -> None:
+        for index in range(count):
+            memories.append(MemoryMacro(f"{prefix}{index}", words, bits))
+
+    add("line_buffer", 6, 2048, 16)     # sensor/pipeline line buffers
+    add("jpeg_block", 4, 256, 12)       # DCT block buffers
+    add("jpeg_qtable", 2, 64, 8)        # quant tables
+    add("jpeg_huff", 2, 512, 16)        # Huffman LUTs
+    add("cpu_icache", 2, 1024, 32)      # instruction cache data/tag
+    add("cpu_dcache", 2, 1024, 32)
+    add("cpu_tcm", 2, 2048, 32)         # tightly-coupled memory
+    add("usb_fifo", 2, 256, 8)
+    add("sd_fifo", 2, 512, 8)
+    add("lcd_buffer", 2, 1024, 18)
+    add("tv_line", 2, 1440, 10)
+    add("misc_reg", 2, 128, 8)
+    assert len(memories) == 30
+    return memories

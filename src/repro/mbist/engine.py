@@ -1,0 +1,120 @@
+"""MBIST execution: run a planned BIST architecture against silicon.
+
+The :class:`~repro.mbist.bist.BistPlan` says *what* hardware is
+inserted; this module runs it: the shared controller sequences the
+memory groups, each group's sequencer drives the March algorithm into
+its member memories in lockstep, pattern generators compare, and the
+controller collects a per-memory pass/fail map -- exactly what the
+tester reads out of the paper's 30-macro DSC controller at probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .bist import BistPlan, MemoryMacro
+from .march import MarchTest, run_march
+from .memory import SramModel, random_fault
+
+
+@dataclass
+class BistRunResult:
+    """Outcome of one full-chip MBIST session."""
+
+    plan_sharing: str
+    march_name: str
+    per_memory_pass: dict[str, bool] = field(default_factory=dict)
+    cycles_executed: int = 0
+    groups_run: int = 0
+
+    @property
+    def all_pass(self) -> bool:
+        return all(self.per_memory_pass.values())
+
+    @property
+    def failing_memories(self) -> list[str]:
+        return sorted(
+            name for name, ok in self.per_memory_pass.items() if not ok
+        )
+
+    def format_report(self) -> str:
+        lines = [
+            f"MBIST session ({self.plan_sharing}, {self.march_name})",
+            f"  memories   : {len(self.per_memory_pass)}"
+            f" ({len(self.failing_memories)} failing)",
+            f"  cycles     : {self.cycles_executed}",
+            f"  verdict    : {'PASS' if self.all_pass else 'FAIL'}",
+        ]
+        for name in self.failing_memories:
+            lines.append(f"    FAIL {name}")
+        return "\n".join(lines)
+
+
+def run_bist_session(
+    plan: BistPlan,
+    memories: Mapping[str, SramModel],
+    *,
+    max_parallel_groups: int = 4,
+) -> BistRunResult:
+    """Execute the BIST plan against behavioural memories.
+
+    ``memories`` maps macro name -> its (possibly fault-injected)
+    :class:`SramModel`.  Groups execute in waves of
+    ``max_parallel_groups``; within a wave the wall-clock cycles are
+    the longest member group's March run.
+    """
+    missing = [
+        name for group in plan.groups for name in group
+        if name not in memories
+    ]
+    if missing:
+        raise KeyError(f"no SramModel supplied for: {missing[:4]}")
+
+    result = BistRunResult(
+        plan_sharing=plan.sharing, march_name=plan.march.name
+    )
+    group_cycles: list[int] = []
+    for group in plan.groups:
+        longest = 0
+        for name in group:
+            memory = memories[name]
+            outcome = run_march(memory, plan.march)
+            result.per_memory_pass[name] = outcome.passed
+            longest = max(
+                longest, plan.march.test_cycles(memory.words)
+            )
+        group_cycles.append(longest)
+        result.groups_run += 1
+    # Wave scheduling, longest groups first (as the planner assumed).
+    group_cycles.sort(reverse=True)
+    for start in range(0, len(group_cycles), max_parallel_groups):
+        result.cycles_executed += group_cycles[start]
+    return result
+
+
+def build_memories(
+    macros: list[MemoryMacro],
+    *,
+    defective: Mapping[str, str] | None = None,
+    seed: int = 0,
+) -> dict[str, SramModel]:
+    """Instantiate SramModels for a macro list.
+
+    ``defective`` maps macro name -> fault family to inject (one
+    random instance of that family).
+    """
+    rng = np.random.default_rng(seed)
+    defective = defective or {}
+    memories: dict[str, SramModel] = {}
+    for macro in macros:
+        memory = SramModel(macro.words, macro.bits)
+        family = defective.get(macro.name)
+        if family is not None:
+            memory.inject(
+                random_fault(family, macro.words, macro.bits, rng)
+            )
+        memories[macro.name] = memory
+    return memories

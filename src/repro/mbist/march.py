@@ -1,0 +1,207 @@
+"""March test algorithms and fault-coverage measurement.
+
+A March test is a sequence of March elements; each element sweeps the
+address space in a fixed order applying a fixed list of read/write
+operations per address.  The notation follows van de Goor:
+
+    MATS+    : {M0: up w0; M1: up r0,w1; M2: down r1,w0}
+    March X  : {up w0; up r0,w1; down r1,w0; up r0}
+    March Y  : {up w0; up r0,w1,r1; down r1,w0,r0; up r0}
+    March C- : {up w0; up r0,w1; up r1,w0; down r0,w1; down r1,w0; up r0}
+    March B  : {up w0; up r0,w1,r1,w0,r0,w1; up r1,w0,w1;
+                down r1,w0,w1,w0; down r0,w1,w0}
+
+Data backgrounds: operations write/expect all-0 or all-1 words; for a
+``bits``-wide memory the solid background is used (checker backgrounds
+are available via ``background``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from .memory import FAULT_FAMILIES, SramModel, random_fault
+
+Op = tuple[Literal["r", "w"], int]  # ("r", expected_bg) / ("w", bg)
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One address sweep: direction and per-address operation list."""
+
+    direction: Literal["up", "down", "any"]
+    operations: tuple[Op, ...]
+
+    def addresses(self, words: int) -> range:
+        if self.direction == "down":
+            return range(words - 1, -1, -1)
+        return range(words)
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named March algorithm."""
+
+    name: str
+    elements: tuple[MarchElement, ...]
+
+    @property
+    def operations_per_word(self) -> int:
+        """Complexity in N (e.g. March C- is 10N)."""
+        return sum(len(e.operations) for e in self.elements)
+
+    def test_cycles(self, words: int) -> int:
+        """Total memory operations for one run."""
+        return self.operations_per_word * words
+
+
+def _element(direction: str, spec: str) -> MarchElement:
+    ops: list[Op] = []
+    for token in spec.split(","):
+        token = token.strip()
+        ops.append((token[0], int(token[1])))  # type: ignore[arg-type]
+    return MarchElement(direction, tuple(ops))  # type: ignore[arg-type]
+
+
+MATS_PLUS = MarchTest(
+    "MATS+",
+    (
+        _element("up", "w0"),
+        _element("up", "r0,w1"),
+        _element("down", "r1,w0"),
+    ),
+)
+
+MARCH_X = MarchTest(
+    "March X",
+    (
+        _element("up", "w0"),
+        _element("up", "r0,w1"),
+        _element("down", "r1,w0"),
+        _element("up", "r0"),
+    ),
+)
+
+MARCH_Y = MarchTest(
+    "March Y",
+    (
+        _element("up", "w0"),
+        _element("up", "r0,w1,r1"),
+        _element("down", "r1,w0,r0"),
+        _element("up", "r0"),
+    ),
+)
+
+MARCH_C_MINUS = MarchTest(
+    "March C-",
+    (
+        _element("up", "w0"),
+        _element("up", "r0,w1"),
+        _element("up", "r1,w0"),
+        _element("down", "r0,w1"),
+        _element("down", "r1,w0"),
+        _element("up", "r0"),
+    ),
+)
+
+MARCH_B = MarchTest(
+    "March B",
+    (
+        _element("up", "w0"),
+        _element("up", "r0,w1,r1,w0,r0,w1"),
+        _element("up", "r1,w0,w1"),
+        _element("down", "r1,w0,w1,w0"),
+        _element("down", "r0,w1,w0"),
+    ),
+)
+
+STANDARD_TESTS: tuple[MarchTest, ...] = (
+    MATS_PLUS, MARCH_X, MARCH_Y, MARCH_C_MINUS, MARCH_B,
+)
+
+
+def background(bits: int, value: int) -> int:
+    """Solid data background: all-0 or all-1 across ``bits``."""
+    return ((1 << bits) - 1) if value else 0
+
+
+@dataclass
+class MarchRunResult:
+    """Outcome of one March run on one memory."""
+
+    test_name: str
+    passed: bool
+    operations: int = 0
+    first_failure: tuple[int, int, int] | None = None  # (element, addr, op)
+
+
+def run_march(memory: SramModel, test: MarchTest) -> MarchRunResult:
+    """Execute a March test; stops at the first miscompare."""
+    operations = 0
+    for element_index, element in enumerate(test.elements):
+        for address in element.addresses(memory.words):
+            for op_index, (kind, bg) in enumerate(element.operations):
+                data = background(memory.bits, bg)
+                operations += 1
+                if kind == "w":
+                    memory.write(address, data)
+                else:
+                    observed = memory.read(address)
+                    if observed != data:
+                        return MarchRunResult(
+                            test.name,
+                            passed=False,
+                            operations=operations,
+                            first_failure=(element_index, address, op_index),
+                        )
+    return MarchRunResult(test.name, passed=True, operations=operations)
+
+
+@dataclass
+class CoverageReport:
+    """Monte-Carlo fault coverage of one March test."""
+
+    test_name: str
+    trials_per_family: int
+    coverage: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overall(self) -> float:
+        if not self.coverage:
+            return 0.0
+        return sum(self.coverage.values()) / len(self.coverage)
+
+    def format_report(self) -> str:
+        lines = [f"{self.test_name} fault coverage "
+                 f"({self.trials_per_family} faults/family)"]
+        for family, value in self.coverage.items():
+            lines.append(f"  {family:5s}: {value * 100:6.1f}%")
+        lines.append(f"  mean : {self.overall * 100:6.1f}%")
+        return "\n".join(lines)
+
+
+def measure_coverage(
+    test: MarchTest,
+    *,
+    words: int = 64,
+    bits: int = 8,
+    trials_per_family: int = 100,
+    families: Sequence[str] = FAULT_FAMILIES,
+    seed: int = 0,
+) -> CoverageReport:
+    """Empirical fault coverage: inject one random fault per trial and
+    check whether the March test flags it."""
+    rng = np.random.default_rng(seed)
+    report = CoverageReport(test.name, trials_per_family)
+    for family in families:
+        detected = 0
+        for _ in range(trials_per_family):
+            memory = SramModel(words, bits)
+            memory.inject(random_fault(family, words, bits, rng))
+            if not run_march(memory, test).passed:
+                detected += 1
+        report.coverage[family] = detected / trials_per_family
+    return report

@@ -1,0 +1,277 @@
+"""Behavioural SRAM model with injectable functional fault models.
+
+The fault models are the classical memory-test taxonomy (van de Goor):
+
+* ``SAF``  -- stuck-at cell,
+* ``TF``   -- transition fault (cell cannot make one transition),
+* ``CFid`` -- idempotent coupling fault (aggressor write transition
+  forces the victim to a value),
+* ``CFin`` -- inversion coupling fault (aggressor transition inverts
+  the victim),
+* ``AF``   -- address-decoder fault (two addresses map to one cell),
+* ``SOF``  -- stuck-open cell (read returns the previous read value).
+
+March tests from :mod:`repro.mbist.march` run against this model to
+measure real (not tabulated) fault coverage -- the methodology behind
+the paper's in-house MBIST generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+class MemoryFault(Protocol):
+    """Interface every injectable fault implements."""
+
+    def on_write(self, memory: "SramModel", address: int, value: int) -> int | None:
+        """Observe/modify a write.  Return a replacement value or None."""
+
+    def on_read(self, memory: "SramModel", address: int, value: int) -> int:
+        """Observe/modify a read result."""
+
+
+@dataclass
+class StuckAtFault:
+    """Cell at ``address`` bit ``bit`` permanently reads ``value``."""
+
+    address: int
+    bit: int
+    value: int
+
+    def on_write(self, memory, address, value):
+        if address == self.address:
+            mask = 1 << self.bit
+            return (value & ~mask) | (self.value << self.bit)
+        return None
+
+    def on_read(self, memory, address, value):
+        if address == self.address:
+            mask = 1 << self.bit
+            return (value & ~mask) | (self.value << self.bit)
+        return value
+
+
+@dataclass
+class TransitionFault:
+    """Cell cannot make the ``rising`` (0->1) or falling transition."""
+
+    address: int
+    bit: int
+    rising: bool  # True: up-transition fails; False: down-transition
+
+    def on_write(self, memory, address, value):
+        if address != self.address:
+            return None
+        mask = 1 << self.bit
+        old_bit = (memory.raw_word(address) >> self.bit) & 1
+        new_bit = (value >> self.bit) & 1
+        if self.rising and old_bit == 0 and new_bit == 1:
+            return value & ~mask
+        if not self.rising and old_bit == 1 and new_bit == 0:
+            return value | mask
+        return None
+
+    def on_read(self, memory, address, value):
+        return value
+
+
+@dataclass
+class CouplingFaultIdempotent:
+    """A write transition on the aggressor cell forces the victim."""
+
+    aggressor_address: int
+    aggressor_bit: int
+    victim_address: int
+    victim_bit: int
+    trigger_rising: bool
+    forced_value: int
+
+    def on_write(self, memory, address, value):
+        if address != self.aggressor_address:
+            return None
+        old_bit = (memory.raw_word(address) >> self.aggressor_bit) & 1
+        new_bit = (value >> self.aggressor_bit) & 1
+        triggered = (
+            (self.trigger_rising and old_bit == 0 and new_bit == 1)
+            or (not self.trigger_rising and old_bit == 1 and new_bit == 0)
+        )
+        if triggered:
+            victim = memory.raw_word(self.victim_address)
+            mask = 1 << self.victim_bit
+            victim = (victim & ~mask) | (self.forced_value << self.victim_bit)
+            memory.poke(self.victim_address, victim)
+        return None
+
+    def on_read(self, memory, address, value):
+        return value
+
+
+@dataclass
+class CouplingFaultInversion:
+    """A write transition on the aggressor inverts the victim cell."""
+
+    aggressor_address: int
+    aggressor_bit: int
+    victim_address: int
+    victim_bit: int
+    trigger_rising: bool
+
+    def on_write(self, memory, address, value):
+        if address != self.aggressor_address:
+            return None
+        old_bit = (memory.raw_word(address) >> self.aggressor_bit) & 1
+        new_bit = (value >> self.aggressor_bit) & 1
+        triggered = (
+            (self.trigger_rising and old_bit == 0 and new_bit == 1)
+            or (not self.trigger_rising and old_bit == 1 and new_bit == 0)
+        )
+        if triggered:
+            victim = memory.raw_word(self.victim_address)
+            memory.poke(self.victim_address, victim ^ (1 << self.victim_bit))
+        return None
+
+    def on_read(self, memory, address, value):
+        return value
+
+
+@dataclass
+class AddressDecoderFault:
+    """Accesses to ``ghost_address`` land on ``real_address`` instead."""
+
+    ghost_address: int
+    real_address: int
+
+    def remap(self, address: int) -> int:
+        return self.real_address if address == self.ghost_address else address
+
+    def on_write(self, memory, address, value):
+        return None  # handled via remap in SramModel
+
+    def on_read(self, memory, address, value):
+        return value
+
+
+@dataclass
+class StuckOpenFault:
+    """Broken access transistor: a read returns the previously read
+    word (sense-amp retains its last value) for this cell's bit."""
+
+    address: int
+    bit: int
+
+    def on_write(self, memory, address, value):
+        return None
+
+    def on_read(self, memory, address, value):
+        if address == self.address:
+            mask = 1 << self.bit
+            stale = memory.last_read_value & mask
+            return (value & ~mask) | stale
+        return value
+
+
+class SramModel:
+    """A ``words`` x ``bits`` behavioural SRAM with injectable faults."""
+
+    def __init__(self, words: int, bits: int) -> None:
+        if words < 2 or bits < 1:
+            raise ValueError("need at least 2 words and 1 bit")
+        self.words = words
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self._array = np.zeros(words, dtype=np.int64)
+        self.faults: list = []
+        self.last_read_value = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- fault management -----------------------------------------------
+
+    def inject(self, fault) -> None:
+        """Add a fault; reads/writes observe it from now on."""
+        for attr in ("address", "victim_address", "aggressor_address",
+                     "ghost_address", "real_address"):
+            value = getattr(fault, attr, None)
+            if value is not None and not 0 <= value < self.words:
+                raise ValueError(f"fault {attr}={value} out of range")
+        self.faults.append(fault)
+
+    def _remap(self, address: int) -> int:
+        for fault in self.faults:
+            remap = getattr(fault, "remap", None)
+            if remap is not None:
+                address = remap(address)
+        return address
+
+    # -- accesses ----------------------------------------------------------
+
+    def raw_word(self, address: int) -> int:
+        """Fault-free view of the stored word (internal/poke use)."""
+        return int(self._array[address])
+
+    def poke(self, address: int, value: int) -> None:
+        """Set a word bypassing fault hooks (used by coupling faults)."""
+        self._array[address] = value & self._mask
+
+    def write(self, address: int, value: int) -> None:
+        """Functional write through all injected faults."""
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} out of range")
+        address = self._remap(address)
+        value &= self._mask
+        for fault in self.faults:
+            replaced = fault.on_write(self, address, value)
+            if replaced is not None:
+                value = replaced & self._mask
+        self._array[address] = value
+        self.writes += 1
+
+    def read(self, address: int) -> int:
+        """Functional read through all injected faults."""
+        if not 0 <= address < self.words:
+            raise IndexError(f"address {address} out of range")
+        address = self._remap(address)
+        value = int(self._array[address])
+        for fault in self.faults:
+            value = fault.on_read(self, address, value) & self._mask
+        self.last_read_value = value
+        self.reads += 1
+        return value
+
+
+def random_fault(
+    kind: str, words: int, bits: int, rng: np.random.Generator
+):
+    """Sample one random fault instance of the named family."""
+    address = int(rng.integers(0, words))
+    bit = int(rng.integers(0, bits))
+    if kind == "SAF":
+        return StuckAtFault(address, bit, int(rng.integers(0, 2)))
+    if kind == "TF":
+        return TransitionFault(address, bit, bool(rng.integers(0, 2)))
+    if kind in ("CFid", "CFin"):
+        victim = int(rng.integers(0, words - 1))
+        if victim >= address:
+            victim += 1
+        victim_bit = int(rng.integers(0, bits))
+        rising = bool(rng.integers(0, 2))
+        if kind == "CFid":
+            return CouplingFaultIdempotent(
+                address, bit, victim, victim_bit, rising, int(rng.integers(0, 2))
+            )
+        return CouplingFaultInversion(address, bit, victim, victim_bit, rising)
+    if kind == "AF":
+        real = int(rng.integers(0, words - 1))
+        if real >= address:
+            real += 1
+        return AddressDecoderFault(address, real)
+    if kind == "SOF":
+        return StuckOpenFault(address, bit)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+FAULT_FAMILIES = ("SAF", "TF", "CFid", "CFin", "AF", "SOF")

@@ -1,0 +1,100 @@
+"""Liberty (.lib) export of the cell library.
+
+Timing sign-off in the paper's flow consumes Liberty models from every
+IP and library vendor.  This writer emits the repro library in the
+classic Liberty-2 style: per-cell area/leakage, per-pin direction and
+capacitance, a linear (intrinsic + resistance*load) timing arc per
+input->output pair, and ``ff`` groups for the sequential cells -- the
+subset an STA tool of the era actually read.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from .library import Cell, StdCellLibrary
+
+
+def _write_cell(stream: IO[str], cell: Cell) -> None:
+    stream.write(f"  cell ({cell.name}) {{\n")
+    stream.write(f"    area : {cell.area_um2:.3f};\n")
+    stream.write(f"    cell_leakage_power : {cell.leakage_nw:.4f};\n")
+    if cell.is_pad:
+        stream.write("    pad_cell : true;\n")
+    if cell.is_clock_gate:
+        stream.write("    clock_gating_integrated_cell : latch_posedge;\n")
+    if cell.vt_class != "svt":
+        stream.write(f"    threshold_voltage_group : {cell.vt_class};\n")
+
+    if cell.is_sequential:
+        stream.write(f"    ff (IQ, IQN) {{\n")
+        stream.write(f"      next_state : \"{cell.data_pin}\";\n")
+        stream.write(f"      clocked_on : \"{cell.clock_pin}\";\n")
+        if cell.reset_pin:
+            stream.write(f"      clear : \"!{cell.reset_pin}\";\n")
+        stream.write("    }\n")
+
+    output_pins = set(cell.output_pins)
+    for pin in cell.pins:
+        stream.write(f"    pin ({pin.name}) {{\n")
+        stream.write(f"      direction : {pin.direction};\n")
+        if pin.direction == "input":
+            stream.write(
+                f"      capacitance : {pin.capacitance_ff / 1000.0:.5f};\n"
+            )
+            if cell.is_sequential and pin.name == cell.clock_pin:
+                stream.write("      clock : true;\n")
+        else:
+            if cell.is_sequential:
+                stream.write("      function : \"IQ\";\n")
+                related = cell.clock_pin
+                stream.write("      timing () {\n")
+                stream.write(f"        related_pin : \"{related}\";\n")
+                stream.write("        timing_type : rising_edge;\n")
+                stream.write(
+                    "        cell_rise (scalar) { values ("
+                    f"\"{cell.intrinsic_delay_ps / 1000.0:.4f}\"); }}\n"
+                )
+                stream.write("      }\n")
+            else:
+                for related in cell.input_pins:
+                    stream.write("      timing () {\n")
+                    stream.write(f"        related_pin : \"{related}\";\n")
+                    stream.write(
+                        "        intrinsic_rise : "
+                        f"{cell.intrinsic_delay_ps / 1000.0:.4f};\n"
+                    )
+                    stream.write(
+                        "        rise_resistance : "
+                        f"{cell.drive_resistance_kohm:.4f};\n"
+                    )
+                    stream.write("      }\n")
+        stream.write("    }\n")
+    stream.write("  }\n")
+
+
+def write_liberty(library: StdCellLibrary, stream: IO[str]) -> int:
+    """Emit the library; returns the number of cells written."""
+    stream.write(f"library ({library.name}) {{\n")
+    stream.write("  delay_model : generic_cmos;\n")
+    stream.write("  time_unit : \"1ns\";\n")
+    stream.write("  capacitive_load_unit (1, pf);\n")
+    stream.write("  leakage_power_unit : \"1nW\";\n")
+    stream.write(
+        f"  /* process node: {library.process_node_um} um */\n\n"
+    )
+    count = 0
+    for cell in library:
+        _write_cell(stream, cell)
+        count += 1
+    stream.write("}\n")
+    return count
+
+
+def liberty_text(library: StdCellLibrary) -> str:
+    """The library's Liberty model as a string."""
+    import io
+
+    buffer = io.StringIO()
+    write_liberty(library, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,185 @@
+"""Four-value logic used throughout the gate-level substrate.
+
+Values follow the classic Verilog semantics:
+
+* ``ZERO`` / ``ONE`` -- strong binary values.
+* ``X`` -- unknown (uninitialised flop, bus contention, ...).
+* ``Z`` -- high impedance (undriven net).
+
+Gates treat ``Z`` on an input as ``X`` (a floating CMOS input is
+undefined), which matches how commercial simulators evaluate primitives.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable
+
+
+class Logic(IntEnum):
+    """A single four-value logic level."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+    Z = 3
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "01xz"[int(self)]
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "Logic":
+        """Map a Python boolean onto a strong logic level."""
+        return cls.ONE if value else cls.ZERO
+
+    @classmethod
+    def from_char(cls, char: str) -> "Logic":
+        """Parse one of ``0 1 x X z Z`` into a logic level."""
+        table = {"0": cls.ZERO, "1": cls.ONE, "x": cls.X, "z": cls.Z}
+        try:
+            return table[char.lower()]
+        except KeyError:
+            raise ValueError(f"not a logic character: {char!r}") from None
+
+    @property
+    def is_known(self) -> bool:
+        """True for the strong binary values ``ZERO`` and ``ONE``."""
+        return self in (Logic.ZERO, Logic.ONE)
+
+    def to_bool(self) -> bool:
+        """Convert a known value to bool; raises on ``X``/``Z``."""
+        if not self.is_known:
+            raise ValueError(f"cannot convert {self!r} to bool")
+        return self is Logic.ONE
+
+
+def _gate_value(value: Logic) -> Logic:
+    """Normalise a gate input: high impedance reads as unknown."""
+    return Logic.X if value is Logic.Z else value
+
+
+def logic_not(a: Logic) -> Logic:
+    """Four-value inversion."""
+    a = _gate_value(a)
+    if a is Logic.X:
+        return Logic.X
+    return Logic.ZERO if a is Logic.ONE else Logic.ONE
+
+
+def logic_and(*inputs: Logic) -> Logic:
+    """Four-value conjunction; a controlling ``ZERO`` dominates ``X``."""
+    saw_x = False
+    for value in inputs:
+        value = _gate_value(value)
+        if value is Logic.ZERO:
+            return Logic.ZERO
+        if value is Logic.X:
+            saw_x = True
+    return Logic.X if saw_x else Logic.ONE
+
+
+def logic_or(*inputs: Logic) -> Logic:
+    """Four-value disjunction; a controlling ``ONE`` dominates ``X``."""
+    saw_x = False
+    for value in inputs:
+        value = _gate_value(value)
+        if value is Logic.ONE:
+            return Logic.ONE
+        if value is Logic.X:
+            saw_x = True
+    return Logic.X if saw_x else Logic.ZERO
+
+
+def logic_xor(*inputs: Logic) -> Logic:
+    """Four-value exclusive or; any unknown input poisons the result."""
+    parity = 0
+    for value in inputs:
+        value = _gate_value(value)
+        if value is Logic.X:
+            return Logic.X
+        parity ^= int(value)
+    return Logic(parity)
+
+
+def logic_nand(*inputs: Logic) -> Logic:
+    """Four-value NAND."""
+    return logic_not(logic_and(*inputs))
+
+
+def logic_nor(*inputs: Logic) -> Logic:
+    """Four-value NOR."""
+    return logic_not(logic_or(*inputs))
+
+
+def logic_xnor(*inputs: Logic) -> Logic:
+    """Four-value XNOR."""
+    return logic_not(logic_xor(*inputs))
+
+
+def logic_buf(a: Logic) -> Logic:
+    """Buffer: passes the value through, turning ``Z`` into ``X``."""
+    return _gate_value(a)
+
+
+def logic_mux(select: Logic, a: Logic, b: Logic) -> Logic:
+    """Two-input multiplexer: ``a`` when select is 0, ``b`` when 1.
+
+    When select is unknown the output is known only if both data
+    inputs agree -- the standard "optimistic X" mux semantics.
+    """
+    select = _gate_value(select)
+    a = _gate_value(a)
+    b = _gate_value(b)
+    if select is Logic.ZERO:
+        return a
+    if select is Logic.ONE:
+        return b
+    if a is b and a.is_known:
+        return a
+    return Logic.X
+
+
+def logic_tribuf(enable: Logic, a: Logic) -> Logic:
+    """Tri-state buffer: drives ``a`` when enabled, else ``Z``."""
+    enable = _gate_value(enable)
+    if enable is Logic.ZERO:
+        return Logic.Z
+    if enable is Logic.ONE:
+        return _gate_value(a)
+    return Logic.X
+
+
+def resolve(drivers: Iterable[Logic]) -> Logic:
+    """Resolve multiple drivers on one net (wired-net resolution).
+
+    ``Z`` loses to any real driver; conflicting strong values or any
+    driven ``X`` produce ``X``.  An undriven net resolves to ``Z``.
+    """
+    result = Logic.Z
+    for value in drivers:
+        if value is Logic.Z:
+            continue
+        if result is Logic.Z:
+            result = value
+        elif result is not value:
+            return Logic.X
+    return result
+
+
+def bits_to_int(bits: Iterable[Logic]) -> int:
+    """Interpret an LSB-first vector of known bits as an integer."""
+    total = 0
+    for position, bit in enumerate(bits):
+        if not bit.is_known:
+            raise ValueError(f"bit {position} is {bit!r}, not a known value")
+        total |= int(bit) << position
+    return total
+
+
+def int_to_bits(value: int, width: int) -> list[Logic]:
+    """Expand an integer into an LSB-first vector of ``width`` bits."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [Logic((value >> index) & 1) for index in range(width)]

@@ -1,0 +1,84 @@
+"""Netlist statistics reporting.
+
+Produces the per-block and whole-chip numbers the paper quotes in
+Section 3 (gate count, register count, area), in a form the design-
+service flow report (:mod:`repro.core`) can aggregate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .netlist import Module
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics for one flat module."""
+
+    name: str
+    instance_count: int
+    combinational_count: int
+    sequential_count: int
+    pad_count: int
+    spare_count: int
+    net_count: int
+    port_count: int
+    total_area_um2: float
+    total_leakage_nw: float
+    cell_histogram: tuple[tuple[str, int], ...] = field(default=())
+
+    @property
+    def register_fraction(self) -> float:
+        """Flip-flops as a fraction of all instances."""
+        if self.instance_count == 0:
+            return 0.0
+        return self.sequential_count / self.instance_count
+
+    def format_report(self) -> str:
+        """Human-readable block report."""
+        lines = [
+            f"Block {self.name}",
+            f"  instances    : {self.instance_count}",
+            f"  combinational: {self.combinational_count}",
+            f"  sequential   : {self.sequential_count}",
+            f"  pads         : {self.pad_count}",
+            f"  spares       : {self.spare_count}",
+            f"  nets / ports : {self.net_count} / {self.port_count}",
+            f"  area         : {self.total_area_um2 / 1e6:.3f} mm^2",
+        ]
+        return "\n".join(lines)
+
+
+def collect_stats(module: Module, *, top_cells: int = 10) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a module."""
+    histogram: Counter[str] = Counter()
+    combinational = sequential = pads = spares = 0
+    area = 0.0
+    leakage = 0.0
+    for inst in module.instances.values():
+        histogram[inst.cell.name] += 1
+        area += inst.cell.area_um2
+        leakage += inst.cell.leakage_nw
+        if inst.cell.is_sequential:
+            sequential += 1
+        else:
+            combinational += 1
+        if inst.cell.is_pad:
+            pads += 1
+        if inst.cell.is_spare:
+            spares += 1
+    return NetlistStats(
+        name=module.name,
+        instance_count=len(module.instances),
+        combinational_count=combinational,
+        sequential_count=sequential,
+        pad_count=pads,
+        spare_count=spares,
+        net_count=len(module.nets),
+        port_count=len(module.ports),
+        total_area_um2=area,
+        total_leakage_nw=leakage,
+        cell_histogram=tuple(histogram.most_common(top_cells)),
+    )

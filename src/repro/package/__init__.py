@@ -1,0 +1,43 @@
+"""Package model, pin assignment and substrate layer estimation."""
+
+from .bga import (
+    Ball,
+    BgaPackage,
+    DSC_SIGNAL_GROUPS,
+    DiePadRing,
+    dsc_pad_ring,
+    tfbga256,
+)
+from .pin_assignment import (
+    AssignmentQuality,
+    OptimizationReport,
+    PinAssignment,
+    angular_assignment,
+    assignment_quality,
+    count_crossings,
+    estimate_layers,
+    layers_by_coloring,
+    optimize_assignment,
+    scrambled_assignment,
+    substrate_cost_usd,
+)
+
+__all__ = [
+    "Ball",
+    "BgaPackage",
+    "DSC_SIGNAL_GROUPS",
+    "DiePadRing",
+    "dsc_pad_ring",
+    "tfbga256",
+    "AssignmentQuality",
+    "OptimizationReport",
+    "PinAssignment",
+    "angular_assignment",
+    "assignment_quality",
+    "count_crossings",
+    "estimate_layers",
+    "layers_by_coloring",
+    "optimize_assignment",
+    "scrambled_assignment",
+    "substrate_cost_usd",
+]

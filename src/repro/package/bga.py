@@ -1,0 +1,152 @@
+"""BGA package model (TFBGA256) and die pad ring.
+
+The DSC controller shipped in a TFBGA256.  For substrate-routability
+analysis each ball and each die pad is reduced to its angle around the
+package/die centre: a signal's substrate trace is (to first order) a
+chord from its bond finger angle to its ball angle, and two traces
+that *interleave* angularly must cross somewhere in the substrate --
+the standard escape-routing abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: JEDEC ball-row letters (I, O, Q, S, X, Z skipped).
+_ROW_LETTERS = "ABCDEFGHJKLMNPRTUVWY"
+
+
+@dataclass(frozen=True)
+class Ball:
+    """One package ball."""
+
+    name: str
+    row: int
+    col: int
+    x_mm: float
+    y_mm: float
+
+    @property
+    def angle(self) -> float:
+        """Angle (radians, 0..2pi) around the package centre."""
+        return math.atan2(self.y_mm, self.x_mm) % (2 * math.pi)
+
+    @property
+    def radius_mm(self) -> float:
+        return math.hypot(self.x_mm, self.y_mm)
+
+
+class BgaPackage:
+    """A square BGA with a full ball grid."""
+
+    def __init__(self, name: str, rows: int, cols: int, pitch_mm: float
+                 ) -> None:
+        if rows > len(_ROW_LETTERS):
+            raise ValueError("too many rows for JEDEC lettering")
+        self.name = name
+        self.rows = rows
+        self.cols = cols
+        self.pitch_mm = pitch_mm
+        self.balls: dict[str, Ball] = {}
+        x_offset = (cols - 1) / 2
+        y_offset = (rows - 1) / 2
+        for row in range(rows):
+            for col in range(cols):
+                ball_name = f"{_ROW_LETTERS[row]}{col + 1}"
+                self.balls[ball_name] = Ball(
+                    name=ball_name,
+                    row=row,
+                    col=col,
+                    x_mm=(col - x_offset) * pitch_mm,
+                    y_mm=(y_offset - row) * pitch_mm,
+                )
+
+    def __len__(self) -> int:
+        return len(self.balls)
+
+    def ball(self, name: str) -> Ball:
+        try:
+            return self.balls[name]
+        except KeyError:
+            raise KeyError(f"no ball {name!r} on {self.name}") from None
+
+    def center_balls(self, ring: int) -> list[str]:
+        """Balls within ``ring`` positions of the grid centre --
+        conventionally assigned to power/ground."""
+        names = []
+        for ball in self.balls.values():
+            if (abs(ball.row - (self.rows - 1) / 2) <= ring
+                    and abs(ball.col - (self.cols - 1) / 2) <= ring):
+                names.append(ball.name)
+        return sorted(names)
+
+    def signal_balls(self, power_ring: int = 2) -> list[str]:
+        """Assignable signal balls (non-power), outermost first.
+
+        Outer balls have the shortest escape routes, so they are the
+        preferred signal locations.
+        """
+        power = set(self.center_balls(power_ring))
+        candidates = [b for b in self.balls.values() if b.name not in power]
+        candidates.sort(key=lambda b: -b.radius_mm)
+        return [b.name for b in candidates]
+
+
+def tfbga256() -> BgaPackage:
+    """The paper's package: 16x16 TFBGA, 0.8 mm pitch."""
+    return BgaPackage("TFBGA256", rows=16, cols=16, pitch_mm=0.8)
+
+
+@dataclass
+class DiePadRing:
+    """Bond pads in order around the die (counter-clockwise from the
+    bottom-left corner)."""
+
+    signals: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.signals) != len(set(self.signals)):
+            raise ValueError("duplicate signals in pad ring")
+
+    def __len__(self) -> int:
+        return len(self.signals)
+
+    def pad_angle(self, signal: str) -> float:
+        """Angle of the signal's bond pad around the die centre."""
+        index = self.signals.index(signal)
+        return 2 * math.pi * index / len(self.signals)
+
+    def angles(self) -> dict[str, float]:
+        step = 2 * math.pi / len(self.signals)
+        return {s: i * step for i, s in enumerate(self.signals)}
+
+
+#: Signal groups of the DSC controller pad ring (Section 2's IP list),
+#: in a plausible placement order around the die.
+DSC_SIGNAL_GROUPS: tuple[tuple[str, int], ...] = (
+    ("sdram_a", 13),      # SDRAM address
+    ("sdram_d", 32),      # SDRAM data
+    ("sdram_ctl", 9),     # RAS/CAS/WE/CS/CKE/DQM/CLK
+    ("sensor_d", 12),     # CCD/CMOS sensor input
+    ("sensor_ctl", 6),
+    ("lcd_d", 18),        # LCD interface + 8-bit DAC feed
+    ("lcd_ctl", 5),
+    ("tv_dac", 10),       # 10-bit video DAC analogue out
+    ("usb", 4),           # DP/DM + control
+    ("sd_card", 9),       # SD/MMC host
+    ("flash", 16),        # external flash bus
+    ("uart_gpio", 14),
+    ("strobe_af", 6),     # camera strobe / autofocus
+    ("clk_pll", 6),       # crystals, PLL supplies
+    ("jtag_test", 8),     # JTAG + scan/test controls
+)
+
+
+def dsc_pad_ring() -> DiePadRing:
+    """The DSC controller's ~170-signal pad ring."""
+    signals: list[str] = []
+    for group, count in DSC_SIGNAL_GROUPS:
+        for index in range(count):
+            signals.append(f"{group}{index}")
+    return DiePadRing(signals)

@@ -1,0 +1,52 @@
+"""Physical implementation: floorplan, placement, routing, CTS."""
+
+from .floorplan import (
+    Floorplan,
+    FloorplanError,
+    HardMacro,
+    PlacedMacro,
+    build_floorplan,
+    place_macros_peripheral,
+    size_die,
+)
+from .placement import (
+    AnnealingPlacer,
+    Placement,
+    PlacementReport,
+    WIRE_CAP_FF_PER_UM,
+)
+from .routing import GlobalRouter, RoutingReport
+from .cts import (
+    ClockTreeNode,
+    ClockTreeReport,
+    build_clock_tree,
+)
+from .prototype import (
+    PrototypeCorrelation,
+    VirtualPrototype,
+    correlate_prototype,
+    virtual_prototype,
+)
+
+__all__ = [
+    "Floorplan",
+    "FloorplanError",
+    "HardMacro",
+    "PlacedMacro",
+    "build_floorplan",
+    "place_macros_peripheral",
+    "size_die",
+    "AnnealingPlacer",
+    "Placement",
+    "PlacementReport",
+    "WIRE_CAP_FF_PER_UM",
+    "GlobalRouter",
+    "RoutingReport",
+    "ClockTreeNode",
+    "ClockTreeReport",
+    "build_clock_tree",
+    "PrototypeCorrelation",
+    "VirtualPrototype",
+    "correlate_prototype",
+    "virtual_prototype",
+]

@@ -1,0 +1,139 @@
+"""Clock-tree synthesis (geometric-matching H-tree).
+
+Builds a balanced buffer tree over the placed flip-flops by recursive
+pairwise matching: at each level, nearest sinks are paired and a
+tapping point is placed at their midpoint, until a single root
+remains.  Reports insertion delay, skew (max-min sink wire distance)
+and buffer count -- the numbers a CTS run is judged on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..netlist import Module
+from .placement import Placement
+
+#: Clock wire delay per micron (ps) -- RC ballpark for a buffered
+#: 0.25 um clock net.
+CLOCK_DELAY_PS_PER_UM = 0.08
+#: Delay through one clock buffer (ps).
+CLOCK_BUFFER_DELAY_PS = 120.0
+
+
+@dataclass
+class ClockTreeNode:
+    """One tapping point of the tree."""
+
+    x_um: float
+    y_um: float
+    level: int
+    children: list["ClockTreeNode"] = field(default_factory=list)
+    sink: str | None = None  # flop instance for leaves
+
+
+@dataclass
+class ClockTreeReport:
+    """CTS quality summary."""
+
+    sinks: int
+    levels: int
+    buffers: int
+    insertion_delay_ps: float
+    skew_ps: float
+    wirelength_um: float
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "Clock tree",
+                f"  sinks          : {self.sinks}",
+                f"  levels/buffers : {self.levels} / {self.buffers}",
+                f"  insertion delay: {self.insertion_delay_ps:.0f} ps",
+                f"  skew           : {self.skew_ps:.1f} ps",
+                f"  wirelength     : {self.wirelength_um / 1000:.2f} mm",
+            ]
+        )
+
+
+def _distance(a: ClockTreeNode, b: ClockTreeNode) -> float:
+    return math.hypot(a.x_um - b.x_um, a.y_um - b.y_um)
+
+
+def _pair_level(nodes: list[ClockTreeNode], level: int) -> list[ClockTreeNode]:
+    """Greedy nearest-neighbour matching into parent nodes."""
+    remaining = list(nodes)
+    parents: list[ClockTreeNode] = []
+    while len(remaining) > 1:
+        node = remaining.pop(0)
+        best_index = min(
+            range(len(remaining)),
+            key=lambda k: _distance(node, remaining[k]),
+        )
+        partner = remaining.pop(best_index)
+        parents.append(
+            ClockTreeNode(
+                x_um=(node.x_um + partner.x_um) / 2,
+                y_um=(node.y_um + partner.y_um) / 2,
+                level=level,
+                children=[node, partner],
+            )
+        )
+    if remaining:
+        orphan = remaining.pop()
+        parents.append(
+            ClockTreeNode(orphan.x_um, orphan.y_um, level, children=[orphan])
+        )
+    return parents
+
+
+def build_clock_tree(
+    module: Module, placement: Placement
+) -> tuple[ClockTreeNode, ClockTreeReport]:
+    """Synthesise the clock tree for all flops in the module."""
+    leaves = []
+    for flop in module.sequential_instances:
+        x, y = placement.position_um(flop.name)
+        leaves.append(ClockTreeNode(x, y, level=0, sink=flop.name))
+    if not leaves:
+        raise ValueError(f"module {module.name} has no clock sinks")
+
+    level = 0
+    nodes = leaves
+    wirelength = 0.0
+    buffers = 0
+    while len(nodes) > 1:
+        level += 1
+        parents = _pair_level(nodes, level)
+        for parent in parents:
+            buffers += 1
+            for child in parent.children:
+                wirelength += _distance(parent, child)
+        nodes = parents
+    root = nodes[0]
+
+    # Per-sink delay: buffer levels crossed + wire distance root->sink.
+    delays: list[float] = []
+
+    def walk(node: ClockTreeNode, wire_so_far: float, buffers_so_far: int):
+        if node.sink is not None:
+            delays.append(
+                buffers_so_far * CLOCK_BUFFER_DELAY_PS
+                + wire_so_far * CLOCK_DELAY_PS_PER_UM
+            )
+            return
+        for child in node.children:
+            walk(child, wire_so_far + _distance(node, child),
+                 buffers_so_far + 1)
+
+    walk(root, 0.0, 0)
+    report = ClockTreeReport(
+        sinks=len(leaves),
+        levels=level,
+        buffers=buffers,
+        insertion_delay_ps=max(delays),
+        skew_ps=max(delays) - min(delays),
+        wirelength_um=wirelength,
+    )
+    return root, report

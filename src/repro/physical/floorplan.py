@@ -1,0 +1,207 @@
+"""Die sizing and macro floorplanning.
+
+Models the physical top-level of the DSC controller: a core of
+standard-cell rows surrounded by an I/O pad ring, with the 30 SRAM
+macros and the hardened CPU placed around the core periphery (the
+standard layout recipe for a macro-heavy 0.25 um SoC).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HardMacro:
+    """A pre-hardened block: SRAM macro or the CPU hard core."""
+
+    name: str
+    width_um: float
+    height_um: float
+
+    @property
+    def area_um2(self) -> float:
+        return self.width_um * self.height_um
+
+    @classmethod
+    def from_area(cls, name: str, area_um2: float, aspect: float = 2.0
+                  ) -> "HardMacro":
+        """Build a macro of a given area with a width/height aspect."""
+        height = math.sqrt(area_um2 / aspect)
+        return cls(name, aspect * height, height)
+
+
+@dataclass(frozen=True)
+class PlacedMacro:
+    macro: HardMacro
+    x_um: float
+    y_um: float
+    edge: str  # which die edge it hugs
+
+
+@dataclass
+class Floorplan:
+    """A sized die with peripheral macros and a core cell area."""
+
+    die_width_um: float
+    die_height_um: float
+    pad_ring_um: float
+    macros: list[PlacedMacro] = field(default_factory=list)
+    core_utilization: float = 0.0
+
+    @property
+    def die_area_mm2(self) -> float:
+        return self.die_width_um * self.die_height_um / 1e6
+
+    @property
+    def core_origin(self) -> tuple[float, float]:
+        return (self.pad_ring_um, self.pad_ring_um)
+
+    @property
+    def core_size(self) -> tuple[float, float]:
+        return (
+            self.die_width_um - 2 * self.pad_ring_um,
+            self.die_height_um - 2 * self.pad_ring_um,
+        )
+
+    def format_report(self) -> str:
+        lines = [
+            "Floorplan",
+            f"  die      : {self.die_width_um:.0f} x {self.die_height_um:.0f} um"
+            f" ({self.die_area_mm2:.2f} mm^2)",
+            f"  macros   : {len(self.macros)} placed on periphery",
+            f"  core util: {self.core_utilization * 100:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+class FloorplanError(Exception):
+    """The blocks do not fit the requested die."""
+
+
+def size_die(
+    *,
+    stdcell_area_um2: float,
+    macro_area_um2: float,
+    target_utilization: float = 0.70,
+    pad_ring_um: float = 350.0,
+    aspect_ratio: float = 1.0,
+) -> tuple[float, float]:
+    """Choose die dimensions for the given content.
+
+    Core area = (std cells / utilization) + macro area * keepout
+    factor; the pad ring is added on each side.
+    """
+    if not 0.3 <= target_utilization <= 0.95:
+        raise FloorplanError("utilization must be within 0.3..0.95")
+    core_area = stdcell_area_um2 / target_utilization + macro_area_um2 * 1.15
+    core_height = math.sqrt(core_area / aspect_ratio)
+    core_width = aspect_ratio * core_height
+    return (core_width + 2 * pad_ring_um, core_height + 2 * pad_ring_um)
+
+
+def place_macros_peripheral(
+    die_width_um: float,
+    die_height_um: float,
+    macros: list[HardMacro],
+    *,
+    pad_ring_um: float = 350.0,
+    spacing_um: float = 20.0,
+) -> list[PlacedMacro]:
+    """Pack macros around the core edges, largest first.
+
+    Walks the four core edges (bottom, top, left, right) placing each
+    macro flush against the edge; raises :class:`FloorplanError` when
+    the periphery is exhausted.
+    """
+    ordered = sorted(macros, key=lambda m: m.area_um2, reverse=True)
+    placed: list[PlacedMacro] = []
+    core_left = pad_ring_um
+    core_bottom = pad_ring_um
+    core_right = die_width_um - pad_ring_um
+    core_top = die_height_um - pad_ring_um
+
+    # The side edges start above/below a corner keepout sized to the
+    # largest macro dimension, so corner macros can never overlap.
+    corner_keepout = max(
+        (max(m.width_um, m.height_um) for m in macros), default=0.0
+    ) + spacing_um
+
+    cursors = {
+        "bottom": core_left,
+        "top": core_left,
+        "left": core_bottom + corner_keepout,
+        "right": core_bottom + corner_keepout,
+    }
+    edge_cycle = ["bottom", "top", "left", "right"]
+    edge_index = 0
+    for macro in ordered:
+        placed_ok = False
+        for _ in range(len(edge_cycle)):
+            edge = edge_cycle[edge_index % len(edge_cycle)]
+            edge_index += 1
+            if edge in ("bottom", "top"):
+                extent = macro.width_um
+                limit = core_right
+                cursor = cursors[edge]
+                if cursor + extent <= limit:
+                    y = (core_bottom if edge == "bottom"
+                         else core_top - macro.height_um)
+                    placed.append(PlacedMacro(macro, cursor, y, edge))
+                    cursors[edge] = cursor + extent + spacing_um
+                    placed_ok = True
+                    break
+            else:
+                extent = macro.height_um
+                limit = core_top - corner_keepout
+                cursor = cursors[edge]
+                if cursor + extent <= limit:
+                    x = (core_left if edge == "left"
+                         else core_right - macro.width_um)
+                    placed.append(PlacedMacro(macro, x, cursor, edge))
+                    cursors[edge] = cursor + extent + spacing_um
+                    placed_ok = True
+                    break
+        if not placed_ok:
+            raise FloorplanError(
+                f"macro {macro.name} ({macro.width_um:.0f}x"
+                f"{macro.height_um:.0f} um) does not fit the periphery"
+            )
+    return placed
+
+
+def build_floorplan(
+    *,
+    stdcell_area_um2: float,
+    macros: list[HardMacro],
+    target_utilization: float = 0.70,
+    pad_ring_um: float = 350.0,
+) -> Floorplan:
+    """Size the die and place the macros; grows the die until fit."""
+    macro_area = sum(m.area_um2 for m in macros)
+    width, height = size_die(
+        stdcell_area_um2=stdcell_area_um2,
+        macro_area_um2=macro_area,
+        target_utilization=target_utilization,
+        pad_ring_um=pad_ring_um,
+    )
+    for attempt in range(8):
+        try:
+            placed = place_macros_peripheral(
+                width, height, macros, pad_ring_um=pad_ring_um
+            )
+        except FloorplanError:
+            width *= 1.12
+            height *= 1.12
+            continue
+        core_area = (width - 2 * pad_ring_um) * (height - 2 * pad_ring_um)
+        used = stdcell_area_um2 + macro_area * 1.15
+        return Floorplan(
+            die_width_um=width,
+            die_height_um=height,
+            pad_ring_um=pad_ring_um,
+            macros=placed,
+            core_utilization=min(used / core_area, 1.0),
+        )
+    raise FloorplanError("could not converge on a die size")

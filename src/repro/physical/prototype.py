@@ -1,0 +1,143 @@
+"""Virtual prototyping: pre-placement estimates and their correlation.
+
+Section 4 opens the required-capabilities list with "virtual
+prototyping": predicting wirelength, congestion and timing *before*
+committing to placement, so floorplan/architecture decisions can be
+made in minutes.  The estimator uses structural wireload models
+(net length from fanout and block area); :func:`correlate_prototype`
+then measures how well the prediction tracked a real placement -- the
+calibration loop a prototyping flow lives or dies by.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..netlist import Module
+from ..sta import TimingAnalyzer, TimingConstraints
+from .placement import AnnealingPlacer, WIRE_CAP_FF_PER_UM
+
+
+@dataclass
+class VirtualPrototype:
+    """Pre-placement predictions for one block."""
+
+    module_name: str
+    estimated_area_um2: float
+    estimated_wirelength_um: float
+    estimated_wns_ps: float
+    estimated_max_frequency_mhz: float
+    congestion_risk: float  # 0..1
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                f"Virtual prototype of {self.module_name}",
+                f"  area        : {self.estimated_area_um2 / 1e6:.3f} mm^2",
+                f"  wirelength  : {self.estimated_wirelength_um / 1000:.1f}"
+                f" mm",
+                f"  WNS         : {self.estimated_wns_ps:.0f} ps",
+                f"  Fmax        : {self.estimated_max_frequency_mhz:.0f}"
+                f" MHz",
+                f"  congestion  : {self.congestion_risk * 100:.0f}% risk",
+            ]
+        )
+
+
+def virtual_prototype(
+    module: Module,
+    constraints: TimingConstraints,
+    *,
+    utilization: float = 0.6,
+    site_pitch_um: float = 10.0,
+) -> VirtualPrototype:
+    """Estimate physical quality without placing.
+
+    Wireload model: a net with fanout *f* in a block of side *S* is
+    budgeted ``S * (0.15 + 0.12 * sqrt(f))`` of length -- the classic
+    fanout-based WLM shape.  Wire caps from that model feed the same
+    STA used post-placement, so estimates and sign-off share one
+    timing engine.
+    """
+    n_cells = max(len(module.instances), 1)
+    side_sites = max(2, math.ceil(math.sqrt(n_cells / utilization)))
+    side_um = side_sites * site_pitch_um
+
+    wirelength = 0.0
+    wire_caps: dict[str, float] = {}
+    for net_name, net in module.nets.items():
+        fanout = net.fanout
+        if fanout == 0:
+            continue
+        length = side_um * (0.15 + 0.12 * math.sqrt(fanout))
+        wirelength += length
+        wire_caps[net_name] = length * WIRE_CAP_FF_PER_UM
+
+    sta = TimingAnalyzer(
+        module, constraints, net_wire_cap_ff=wire_caps
+    ).analyze(with_critical_path=False)
+
+    # Congestion risk: average routing demand per grid edge vs a
+    # nominal capacity (pins per site heuristics).
+    demand = wirelength / site_pitch_um  # edge-lengths needed
+    supply = 2.0 * side_sites * side_sites * 8  # edges x capacity
+    risk = min(1.0, demand / supply)
+
+    return VirtualPrototype(
+        module_name=module.name,
+        estimated_area_um2=side_um * side_um * utilization,
+        estimated_wirelength_um=wirelength,
+        estimated_wns_ps=sta.wns_ps,
+        estimated_max_frequency_mhz=sta.max_frequency_mhz,
+        congestion_risk=risk,
+    )
+
+
+@dataclass
+class PrototypeCorrelation:
+    """Prototype vs placed-reality scorecard."""
+
+    wirelength_ratio: float      # predicted / actual
+    wns_error_ps: float          # predicted - actual
+    fmax_ratio: float
+
+    @property
+    def wirelength_within_2x(self) -> bool:
+        return 0.5 <= self.wirelength_ratio <= 2.0
+
+    def format_report(self) -> str:
+        return (
+            f"prototype correlation: wirelength x{self.wirelength_ratio:.2f}"
+            f", WNS error {self.wns_error_ps:+.0f} ps,"
+            f" Fmax x{self.fmax_ratio:.2f}"
+        )
+
+
+def correlate_prototype(
+    module: Module,
+    constraints: TimingConstraints,
+    *,
+    iterations: int = 6000,
+    seed: int = 0,
+) -> tuple[VirtualPrototype, PrototypeCorrelation]:
+    """Run the prototype, then a real placement, and compare."""
+    prototype = virtual_prototype(module, constraints)
+    placer = AnnealingPlacer(module, seed=seed)
+    placement, report = placer.place(iterations=iterations)
+    caps = placer.wire_caps_ff(placement)
+    sta = TimingAnalyzer(
+        module, constraints, net_wire_cap_ff=caps
+    ).analyze(with_critical_path=False)
+    actual_wirelength = report.hpwl_final_um
+    correlation = PrototypeCorrelation(
+        wirelength_ratio=(
+            prototype.estimated_wirelength_um / max(actual_wirelength, 1e-9)
+        ),
+        wns_error_ps=prototype.estimated_wns_ps - sta.wns_ps,
+        fmax_ratio=(
+            prototype.estimated_max_frequency_mhz
+            / max(sta.max_frequency_mhz, 1e-9)
+        ),
+    )
+    return prototype, correlation

@@ -1,0 +1,21 @@
+"""Project execution: the N2G schedule simulator and change stream."""
+
+from .schedule import (
+    ChangeEvent,
+    FlowTask,
+    ProjectResult,
+    REWORK_FRACTION,
+    n2g_task_network,
+    paper_change_stream,
+    simulate_project,
+)
+
+__all__ = [
+    "ChangeEvent",
+    "FlowTask",
+    "ProjectResult",
+    "REWORK_FRACTION",
+    "n2g_task_network",
+    "paper_change_stream",
+    "simulate_project",
+]

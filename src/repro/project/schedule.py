@@ -1,0 +1,239 @@
+"""Netlist-to-GDSII project simulation (experiment E11 schedule half).
+
+Section 3: "It took three months for a team of six engineers to
+complete the Netlist-to-GDSII service.  During the course, there are
+many changes to the spec and netlist."  The simulator models the N2G
+flow as a task network executed by a bounded engineer pool, with the
+paper's change stream (:func:`repro.eco.paper_change_counts`)
+arriving during execution and triggering rework on the affected
+tasks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..eco import CHANGE_EFFORT_DAYS, ChangeKind, paper_change_counts
+
+
+@dataclass(frozen=True)
+class FlowTask:
+    """One task of the netlist-to-GDSII flow."""
+
+    name: str
+    effort_person_days: float
+    predecessors: tuple[str, ...] = ()
+    #: Which change kinds force partial rework of this task.
+    reworked_by: tuple[ChangeKind, ...] = ()
+
+
+def n2g_task_network() -> list[FlowTask]:
+    """The standard 2004-era Netlist-to-GDSII flow."""
+    spec = ChangeKind.SPEC_CHANGE
+    netlist = ChangeKind.NETLIST_ECO
+    timing = ChangeKind.TIMING_ECO
+    pins = ChangeKind.PIN_ASSIGNMENT
+    return [
+        FlowTask("netlist_intake", 8, (), (spec, netlist)),
+        FlowTask("dft_insertion", 10, ("netlist_intake",), (spec, netlist)),
+        FlowTask("floorplan", 12, ("netlist_intake",), (spec, pins)),
+        FlowTask("power_plan", 8, ("floorplan",), (pins,)),
+        FlowTask("placement", 16, ("floorplan", "dft_insertion"),
+                 (spec, netlist)),
+        FlowTask("cts", 10, ("placement",), (spec,)),
+        FlowTask("routing", 18, ("cts",), (spec, netlist, timing)),
+        FlowTask("sta_signoff", 12, ("routing",), (spec, netlist, timing)),
+        FlowTask("formal_verification", 8, ("routing",), (spec, netlist)),
+        FlowTask("drc_lvs", 12, ("routing",), ()),
+        FlowTask("pin_assignment", 6, ("floorplan",), (pins,)),
+        FlowTask("tapeout_prep", 6,
+                 ("sta_signoff", "formal_verification", "drc_lvs",
+                  "pin_assignment"), ()),
+    ]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One mid-project change arriving at a given day."""
+
+    day: float
+    kind: ChangeKind
+    description: str
+
+
+def paper_change_stream(
+    *, project_days: float = 90.0, seed: int = 0
+) -> list[ChangeEvent]:
+    """The paper's 29 changes spread over the project window.
+
+    Spec changes cluster early (they come from the system customer);
+    timing ECOs cluster late (they follow routing); netlist ECOs and
+    pin versions spread throughout.
+    """
+    rng = np.random.default_rng(seed)
+    events: list[ChangeEvent] = []
+    windows = {
+        ChangeKind.SPEC_CHANGE: (0.05, 0.45),
+        ChangeKind.NETLIST_ECO: (0.10, 0.85),
+        ChangeKind.TIMING_ECO: (0.55, 0.95),
+        ChangeKind.PIN_ASSIGNMENT: (0.05, 0.90),
+    }
+    for kind, count in paper_change_counts().items():
+        low, high = windows[kind]
+        for index in range(count):
+            day = float(rng.uniform(low, high)) * project_days
+            events.append(
+                ChangeEvent(day, kind, f"{kind.value} #{index + 1}")
+            )
+    events.sort(key=lambda e: e.day)
+    return events
+
+
+@dataclass
+class ProjectResult:
+    """Outcome of one project simulation."""
+
+    duration_days: float
+    base_effort_person_days: float
+    rework_effort_person_days: float
+    engineers: int
+    changes_absorbed: int
+    task_finish_days: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_effort_person_days(self) -> float:
+        return self.base_effort_person_days + self.rework_effort_person_days
+
+    @property
+    def duration_months(self) -> float:
+        return self.duration_days / 30.0
+
+    @property
+    def rework_fraction(self) -> float:
+        if self.total_effort_person_days == 0:
+            return 0.0
+        return self.rework_effort_person_days / self.total_effort_person_days
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "Netlist-to-GDSII project",
+                f"  engineers : {self.engineers}",
+                f"  duration  : {self.duration_days:.0f} days"
+                f" ({self.duration_months:.1f} months)",
+                f"  effort    : {self.total_effort_person_days:.0f}"
+                f" person-days ({self.rework_fraction * 100:.0f}% rework)",
+                f"  changes   : {self.changes_absorbed} absorbed",
+            ]
+        )
+
+
+#: Fraction of a task's effort redone when a change hits it after
+#: (or during) its execution.
+REWORK_FRACTION = 0.20
+
+
+def simulate_project(
+    *,
+    engineers: int = 6,
+    tasks: list[FlowTask] | None = None,
+    changes: list[ChangeEvent] | None = None,
+    seed: int = 0,
+) -> ProjectResult:
+    """List-scheduling simulation of the N2G flow with change rework.
+
+    Tasks run when their predecessors are done and an engineer is
+    free; each task occupies one engineer (the flow's tool runs are
+    serialised per block).  A change event re-queues a rework stub for
+    every completed-or-running task it touches, plus its own direct
+    effort.
+    """
+    if engineers < 1:
+        raise ValueError("need at least one engineer")
+    tasks = tasks if tasks is not None else n2g_task_network()
+    if changes is None:
+        changes = paper_change_stream(seed=seed)
+    by_name = {t.name: t for t in tasks}
+
+    finished: dict[str, float] = {}
+    remaining = {t.name for t in tasks}
+    #: (finish_day, engineer_free_day) heaps
+    engineer_free = [0.0] * engineers
+    heapq.heapify(engineer_free)
+    pending_changes = sorted(changes, key=lambda e: e.day)
+    base_effort = sum(t.effort_person_days for t in tasks)
+    rework_effort = 0.0
+    absorbed = 0
+    current_day = 0.0
+    rework_queue: list[tuple[str, float]] = []  # (task name, extra days)
+
+    def ready_tasks() -> list[FlowTask]:
+        return [
+            by_name[name]
+            for name in sorted(remaining)
+            if all(p in finished for p in by_name[name].predecessors)
+        ]
+
+    guard = 0
+    while remaining or rework_queue:
+        guard += 1
+        if guard > 10_000:
+            raise RuntimeError("project simulation did not converge")
+        runnable = ready_tasks()
+        if not runnable and not rework_queue:
+            raise RuntimeError("task network deadlock")
+        # Dispatch: pick the earliest-free engineer.
+        free_day = heapq.heappop(engineer_free)
+        start = max(free_day, current_day)
+        if rework_queue:
+            name, extra = rework_queue.pop(0)
+            duration = extra
+        else:
+            task = runnable[0]
+            remaining.discard(task.name)
+            name, duration = task.name, task.effort_person_days
+        # Predecessor constraint: cannot start before preds finished.
+        if name in by_name and name not in finished:
+            pred_done = max(
+                (finished.get(p, 0.0) for p in by_name[name].predecessors),
+                default=0.0,
+            )
+            start = max(start, pred_done)
+        finish = start + duration
+        finished[name] = max(finished.get(name, 0.0), finish)
+        heapq.heappush(engineer_free, finish)
+        current_day = min(engineer_free)
+
+        # Absorb any changes that arrived by now.
+        while pending_changes and pending_changes[0].day <= current_day:
+            event = pending_changes.pop(0)
+            absorbed += 1
+            direct = CHANGE_EFFORT_DAYS[event.kind]
+            rework_effort += direct
+            rework_queue.append((f"change:{event.description}", direct))
+            for task in tasks:
+                if event.kind in task.reworked_by and task.name in finished:
+                    extra = task.effort_person_days * REWORK_FRACTION
+                    rework_effort += extra
+                    rework_queue.append((task.name, extra))
+
+    # Late changes after all tasks done still need absorption.
+    for event in pending_changes:
+        absorbed += 1
+        direct = CHANGE_EFFORT_DAYS[event.kind]
+        rework_effort += direct
+        free_day = heapq.heappop(engineer_free)
+        heapq.heappush(engineer_free, max(free_day, event.day) + direct)
+
+    duration = max(engineer_free)
+    return ProjectResult(
+        duration_days=duration,
+        base_effort_person_days=base_effort,
+        rework_effort_person_days=rework_effort,
+        engineers=engineers,
+        changes_absorbed=absorbed,
+        task_finish_days=dict(finished),
+    )

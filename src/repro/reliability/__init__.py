@@ -1,0 +1,29 @@
+"""Reliability qualification: acceleration models and stress suites."""
+
+from .models import (
+    Arrhenius,
+    CoffinManson,
+    EsdModel,
+    LognormalLife,
+    PeckHumidity,
+)
+from .qualification import (
+    QualificationReport,
+    StressResult,
+    StressTest,
+    dsc_qualification_suite,
+    run_qualification,
+)
+
+__all__ = [
+    "Arrhenius",
+    "CoffinManson",
+    "EsdModel",
+    "LognormalLife",
+    "PeckHumidity",
+    "QualificationReport",
+    "StressResult",
+    "StressTest",
+    "dsc_qualification_suite",
+    "run_qualification",
+]

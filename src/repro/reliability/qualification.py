@@ -1,0 +1,129 @@
+"""JEDEC-style qualification suite for the DSC controller.
+
+Runs the paper's four stresses on a sampled chip population with the
+standard accept-on-zero-failures criterion (sample sizes per
+JESD47-era practice), and produces the qual report a customer would
+see before ramping 3.5 M units/year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .models import Arrhenius, CoffinManson, EsdModel, PeckHumidity
+
+
+@dataclass(frozen=True)
+class StressTest:
+    """One qualification stress."""
+
+    name: str
+    sample_size: int
+    max_failures: int
+    #: Returns the number of failures for a sample of units.
+    run: Callable[[int, np.random.Generator], int]
+
+
+@dataclass
+class StressResult:
+    name: str
+    sample_size: int
+    failures: int
+    max_failures: int
+
+    @property
+    def passed(self) -> bool:
+        return self.failures <= self.max_failures
+
+
+@dataclass
+class QualificationReport:
+    """All stress outcomes for one product."""
+
+    product: str
+    results: list[StressResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def format_report(self) -> str:
+        lines = [f"Qualification: {self.product}"]
+        for result in self.results:
+            verdict = "PASS" if result.passed else "FAIL"
+            lines.append(
+                f"  {result.name:28s} {result.failures}/{result.sample_size}"
+                f" fail (allow {result.max_failures})  {verdict}"
+            )
+        lines.append(f"  overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def dsc_qualification_suite(
+    *,
+    esd: EsdModel | None = None,
+    cycling: CoffinManson | None = None,
+    storage: Arrhenius | None = None,
+    humidity: PeckHumidity | None = None,
+) -> list[StressTest]:
+    """The paper's four stresses with JEDEC-flavoured conditions."""
+    esd = esd or EsdModel()
+    cycling = cycling or CoffinManson()
+    storage = storage or Arrhenius()
+    humidity = humidity or PeckHumidity()
+
+    def esd_run(n: int, rng: np.random.Generator) -> int:
+        survives = esd.survives(2000.0, n, rng)  # 2 kV HBM class
+        return int(n - survives.sum())
+
+    def cycle_run(n: int, rng: np.random.Generator) -> int:
+        life = cycling.life(delta_t_c=180.0)  # -55..+125 condition B
+        cycles_to_fail = life.sample(n, rng)
+        return int((cycles_to_fail < 500).sum())
+
+    def storage_run(n: int, rng: np.random.Generator) -> int:
+        life = storage.life(temperature_c=150.0)
+        hours_to_fail = life.sample(n, rng)
+        return int((hours_to_fail < 1000).sum())
+
+    def humidity_run(n: int, rng: np.random.Generator) -> int:
+        life = humidity.life(rh_percent=85.0, temperature_c=85.0)
+        hours_to_fail = life.sample(n, rng)
+        return int((hours_to_fail < 1000).sum())
+
+    return [
+        StressTest("ESD HBM 2kV", sample_size=3, max_failures=0,
+                   run=esd_run),
+        StressTest("temp cycle -55/125C 500cyc", sample_size=77,
+                   max_failures=0, run=cycle_run),
+        StressTest("HT storage 150C 1000h", sample_size=77,
+                   max_failures=0, run=storage_run),
+        StressTest("THB 85C/85%RH 1000h", sample_size=77,
+                   max_failures=0, run=humidity_run),
+    ]
+
+
+def run_qualification(
+    *,
+    product: str = "DSC controller",
+    suite: list[StressTest] | None = None,
+    seed: int = 0,
+) -> QualificationReport:
+    """Execute the full suite."""
+    suite = suite if suite is not None else dsc_qualification_suite()
+    rng = np.random.default_rng(seed)
+    report = QualificationReport(product)
+    for stress in suite:
+        failures = stress.run(stress.sample_size, rng)
+        report.results.append(
+            StressResult(
+                name=stress.name,
+                sample_size=stress.sample_size,
+                failures=failures,
+                max_failures=stress.max_failures,
+            )
+        )
+    return report

@@ -1,0 +1,33 @@
+"""Signal integrity: crosstalk, IR drop, electromigration, decaps.
+
+These are the Section-4 "current complex SOC projects require" flow
+capabilities, built on the placement/routing substrate.
+"""
+
+from .crosstalk import (
+    COUPLING_CAP_FF_PER_EDGE,
+    CouplingPair,
+    CrosstalkAnalyzer,
+    CrosstalkReport,
+    MILLER_FACTOR,
+    fix_crosstalk_by_resizing,
+)
+from .ir_drop import (
+    IrDropReport,
+    PowerGridAnalyzer,
+    VDD,
+    electromigration_check,
+)
+
+__all__ = [
+    "COUPLING_CAP_FF_PER_EDGE",
+    "CouplingPair",
+    "CrosstalkAnalyzer",
+    "CrosstalkReport",
+    "MILLER_FACTOR",
+    "fix_crosstalk_by_resizing",
+    "IrDropReport",
+    "PowerGridAnalyzer",
+    "VDD",
+    "electromigration_check",
+]

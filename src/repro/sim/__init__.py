@@ -1,0 +1,22 @@
+"""Four-value logic simulation with configurable vendor dialects."""
+
+from .simulator import (
+    LogicSimulator,
+    SimulatorConfig,
+    Trace,
+    VENDOR_A_SIM,
+    VENDOR_B_SIM,
+    diff_traces,
+)
+from .vcd import save_vcd, write_vcd
+
+__all__ = [
+    "LogicSimulator",
+    "SimulatorConfig",
+    "Trace",
+    "VENDOR_A_SIM",
+    "VENDOR_B_SIM",
+    "diff_traces",
+    "save_vcd",
+    "write_vcd",
+]

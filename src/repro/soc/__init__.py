@@ -1,0 +1,41 @@
+"""Transaction-level SoC integration: bus, peripherals, the DSC SoC."""
+
+from .bus import (
+    AddressRange,
+    BusError,
+    Response,
+    SystemBus,
+    Transaction,
+)
+from .peripherals import (
+    DmaController,
+    DmaDescriptor,
+    Fifo,
+    RegisterFile,
+    SdramModel,
+)
+from .dsc_soc import (
+    CHIP_ID,
+    DscSoc,
+    JPEG_REGISTERS,
+    MEMORY_MAP,
+    broken_soc_with_overlap,
+)
+
+__all__ = [
+    "AddressRange",
+    "BusError",
+    "Response",
+    "SystemBus",
+    "Transaction",
+    "DmaController",
+    "DmaDescriptor",
+    "Fifo",
+    "RegisterFile",
+    "SdramModel",
+    "CHIP_ID",
+    "DscSoc",
+    "JPEG_REGISTERS",
+    "MEMORY_MAP",
+    "broken_soc_with_overlap",
+]

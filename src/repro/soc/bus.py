@@ -1,0 +1,181 @@
+"""Transaction-level system bus.
+
+Section 2: "After all IP models are made ready, whole system
+integration and verification is an even bigger challenge."  The
+gate-level substrate covers block implementation; this package covers
+*integration*: a memory-mapped system bus with address decoding,
+arbitration, wait-states and error responses, to which the behavioural
+IP models of :mod:`repro.soc.peripherals` attach.
+
+The bus is deliberately simple (single outstanding transaction,
+priority arbitration) -- it is the AMBA-ASB-class fabric a 2003 SoC
+used -- but it is *checked*: overlapping address ranges, unmapped
+accesses and slave errors are first-class, because those are the
+integration bugs the paper's team hunted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Protocol
+
+
+class BusError(Exception):
+    """Integration error: bad mapping or illegal access."""
+
+
+class Response(Enum):
+    """Bus transaction response code."""
+
+    OKAY = "okay"
+    ERROR = "error"
+    DECODE_ERROR = "decode_error"
+
+
+@dataclass
+class Transaction:
+    """One bus read or write."""
+
+    master: str
+    address: int
+    is_write: bool
+    data: int = 0
+    response: Response = Response.OKAY
+    read_data: int = 0
+    wait_states: int = 0
+    cycle_issued: int = 0
+
+
+class Slave(Protocol):
+    """Anything mappable onto the bus."""
+
+    def read(self, offset: int) -> tuple[int, int]:
+        """Return (data, wait_states)."""
+
+    def write(self, offset: int, data: int) -> int:
+        """Return wait_states."""
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.base < 0:
+            raise BusError("address range must have positive size")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass
+class _Mapping:
+    name: str
+    window: AddressRange
+    slave: Slave
+
+
+class SystemBus:
+    """Priority-arbitrated, memory-mapped transaction bus."""
+
+    def __init__(self, name: str = "asb") -> None:
+        self.name = name
+        self._mappings: list[_Mapping] = []
+        #: Masters in priority order (index 0 wins arbitration).
+        self._masters: list[str] = []
+        self.cycle = 0
+        self.log: list[Transaction] = []
+
+    # -- construction -----------------------------------------------------
+
+    def attach_slave(self, name: str, base: int, size: int, slave: Slave,
+                     *, allow_overlap: bool = False) -> None:
+        """Map a slave; overlapping windows are an integration error
+        unless explicitly allowed (they never should be)."""
+        window = AddressRange(base, size)
+        if not allow_overlap:
+            for mapping in self._mappings:
+                if mapping.window.overlaps(window):
+                    raise BusError(
+                        f"address window of {name!r} "
+                        f"[{base:#x}..{window.end:#x}) overlaps "
+                        f"{mapping.name!r}"
+                    )
+        self._mappings.append(_Mapping(name, window, slave))
+
+    def register_master(self, name: str) -> None:
+        if name in self._masters:
+            raise BusError(f"duplicate master {name!r}")
+        self._masters.append(name)
+
+    def decode(self, address: int) -> _Mapping | None:
+        for mapping in self._mappings:
+            if mapping.window.contains(address):
+                return mapping
+        return None
+
+    # -- transactions -------------------------------------------------------
+
+    def _issue(self, master: str, address: int, is_write: bool,
+               data: int = 0) -> Transaction:
+        if master not in self._masters:
+            raise BusError(f"unknown master {master!r}")
+        txn = Transaction(master=master, address=address,
+                          is_write=is_write, data=data,
+                          cycle_issued=self.cycle)
+        mapping = self.decode(address)
+        if mapping is None:
+            txn.response = Response.DECODE_ERROR
+        else:
+            offset = address - mapping.window.base
+            try:
+                if is_write:
+                    txn.wait_states = mapping.slave.write(offset, data)
+                else:
+                    txn.read_data, txn.wait_states = mapping.slave.read(
+                        offset
+                    )
+            except BusError:
+                txn.response = Response.ERROR
+        self.cycle += 1 + txn.wait_states
+        self.log.append(txn)
+        return txn
+
+    def write(self, master: str, address: int, data: int) -> Transaction:
+        """One write transaction (arbitration is implicit: calls are
+        already serialised in master-priority order by the scheduler)."""
+        return self._issue(master, address, True, data)
+
+    def read(self, master: str, address: int) -> Transaction:
+        """One read transaction."""
+        return self._issue(master, address, False)
+
+    # -- integration checks ------------------------------------------------
+
+    def memory_map_report(self) -> str:
+        lines = [f"Memory map of {self.name}"]
+        for mapping in sorted(self._mappings, key=lambda m: m.window.base):
+            lines.append(
+                f"  {mapping.window.base:#010x}..{mapping.window.end:#010x}"
+                f"  {mapping.name}"
+            )
+        return "\n".join(lines)
+
+    def error_transactions(self) -> list[Transaction]:
+        return [t for t in self.log if t.response is not Response.OKAY]
+
+    def utilisation(self) -> dict[str, int]:
+        """Bus cycles consumed per master."""
+        usage: dict[str, int] = {m: 0 for m in self._masters}
+        for txn in self.log:
+            usage[txn.master] += 1 + txn.wait_states
+        return usage

@@ -1,0 +1,184 @@
+"""Behavioural models of the DSC controller's bus peripherals.
+
+These are the *simulation models* Section 2 says had to be created for
+every IP before integration: an SDRAM controller with bank/row timing,
+IP register files, a DMA controller, and FIFO-based device interfaces
+(SD card, USB endpoint).  They attach to :class:`repro.soc.bus.SystemBus`
+and are exercised by the integration testbench in
+``examples/soc_integration.py`` and ``tests/test_soc.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bus import BusError, SystemBus
+
+
+class SdramModel:
+    """A banked SDRAM behind its controller.
+
+    Row hits cost ``cas_latency`` waits; row misses add precharge +
+    activate.  This is the timing structure that makes DMA burst order
+    matter -- the performance bug integration testing finds.
+    """
+
+    def __init__(self, *, size_bytes: int = 1 << 22, banks: int = 4,
+                 row_bytes: int = 1024, cas_latency: int = 2,
+                 row_miss_penalty: int = 5) -> None:
+        self.size = size_bytes
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.cas_latency = cas_latency
+        self.row_miss_penalty = row_miss_penalty
+        self._data: dict[int, int] = {}
+        self._open_rows: dict[int, int] = {}
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def _bank_and_row(self, offset: int) -> tuple[int, int]:
+        row = offset // self.row_bytes
+        return row % self.banks, row
+
+    def _access_waits(self, offset: int) -> int:
+        bank, row = self._bank_and_row(offset)
+        if self._open_rows.get(bank) == row:
+            self.row_hits += 1
+            return self.cas_latency
+        self.row_misses += 1
+        self._open_rows[bank] = row
+        return self.cas_latency + self.row_miss_penalty
+
+    def read(self, offset: int) -> tuple[int, int]:
+        if not 0 <= offset < self.size:
+            raise BusError(f"SDRAM read out of range: {offset:#x}")
+        return self._data.get(offset, 0), self._access_waits(offset)
+
+    def write(self, offset: int, data: int) -> int:
+        if not 0 <= offset < self.size:
+            raise BusError(f"SDRAM write out of range: {offset:#x}")
+        self._data[offset] = data & 0xFFFFFFFF
+        return self._access_waits(offset)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class RegisterFile:
+    """A generic IP register block: named registers at word offsets."""
+
+    def __init__(self, registers: dict[str, int]) -> None:
+        """``registers`` maps name -> word offset."""
+        self._offset_of = dict(registers)
+        self._name_of = {v: k for k, v in registers.items()}
+        if len(self._name_of) != len(self._offset_of):
+            raise BusError("register offsets must be unique")
+        self._values: dict[int, int] = {}
+        self.write_log: list[tuple[str, int]] = []
+
+    def read(self, offset: int) -> tuple[int, int]:
+        word = offset // 4
+        if word not in self._name_of:
+            raise BusError(f"no register at offset {offset:#x}")
+        return self._values.get(word, 0), 0
+
+    def write(self, offset: int, data: int) -> int:
+        word = offset // 4
+        if word not in self._name_of:
+            raise BusError(f"no register at offset {offset:#x}")
+        self._values[word] = data & 0xFFFFFFFF
+        self.write_log.append((self._name_of[word], data))
+        return 0
+
+    def value(self, name: str) -> int:
+        return self._values.get(self._offset_of[name], 0)
+
+    def poke(self, name: str, value: int) -> None:
+        self._values[self._offset_of[name]] = value & 0xFFFFFFFF
+
+
+class Fifo:
+    """A bus-visible FIFO (SD-card / USB endpoint style).
+
+    Offset 0: data port (read pops, write pushes).
+    Offset 4: status (bit0 = not-empty, bit1 = full, bits 16.. = level).
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        self.depth = depth
+        self._entries: list[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def read(self, offset: int) -> tuple[int, int]:
+        if offset == 0:
+            if not self._entries:
+                self.underflows += 1
+                raise BusError("FIFO underflow")
+            return self._entries.pop(0), 0
+        if offset == 4:
+            status = (int(bool(self._entries))
+                      | (int(len(self._entries) >= self.depth) << 1)
+                      | (len(self._entries) << 16))
+            return status, 0
+        raise BusError(f"bad FIFO offset {offset:#x}")
+
+    def write(self, offset: int, data: int) -> int:
+        if offset != 0:
+            raise BusError(f"bad FIFO offset {offset:#x}")
+        if len(self._entries) >= self.depth:
+            self.overflows += 1
+            raise BusError("FIFO overflow")
+        self._entries.append(data & 0xFFFFFFFF)
+        return 0
+
+    @property
+    def level(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class DmaDescriptor:
+    """One DMA job."""
+
+    source: int
+    destination: int
+    length_words: int
+    stride: int = 4
+
+
+@dataclass
+class DmaController:
+    """A single-channel DMA master.
+
+    ``run`` moves a descriptor's words over the bus word by word,
+    honouring wait states; returns total bus cycles consumed, which is
+    how the SDRAM-ordering performance effects become visible.
+    """
+
+    bus: SystemBus
+    master_name: str = "dma"
+    completed: list[DmaDescriptor] = field(default_factory=list)
+
+    def run(self, descriptor: DmaDescriptor) -> int:
+        if descriptor.length_words <= 0:
+            raise BusError("DMA length must be positive")
+        start_cycle = self.bus.cycle
+        for index in range(descriptor.length_words):
+            src = descriptor.source + index * descriptor.stride
+            dst = descriptor.destination + index * descriptor.stride
+            read_txn = self.bus.read(self.master_name, src)
+            if read_txn.response.value != "okay":
+                raise BusError(
+                    f"DMA read {read_txn.response.value} at {src:#x}"
+                )
+            write_txn = self.bus.write(self.master_name, dst,
+                                       read_txn.read_data)
+            if write_txn.response.value != "okay":
+                raise BusError(
+                    f"DMA write {write_txn.response.value} at {dst:#x}"
+                )
+        self.completed.append(descriptor)
+        return self.bus.cycle - start_cycle

@@ -1,0 +1,17 @@
+"""Static timing analysis: linear delay model, setup/hold, QoR."""
+
+from .analyzer import (
+    PathPoint,
+    PathReport,
+    TimingAnalyzer,
+    TimingConstraints,
+    TimingReport,
+)
+
+__all__ = [
+    "PathPoint",
+    "PathReport",
+    "TimingAnalyzer",
+    "TimingConstraints",
+    "TimingReport",
+]

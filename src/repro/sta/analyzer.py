@@ -1,0 +1,339 @@
+"""Static timing analysis.
+
+Implements the classic block-based STA the paper's sign-off flow uses
+("timing-driven placement and routing, physical synthesis, formal
+verification and STA QoR check"):
+
+* a linear delay model -- gate delay = intrinsic + Rdrive * Cload,
+  with load from pin capacitances plus (estimated or placed) wire
+  capacitance;
+* forward max/min arrival propagation from launch points (input ports
+  and flop clock-to-Q);
+* required times from capture points (flop setup/hold and output
+  ports);
+* worst negative slack (WNS), total negative slack (TNS), per-endpoint
+  slack, and critical-path extraction for ECO fixing.
+
+All times are picoseconds; capacitances femtofarads; resistance
+kiloohms (1 kOhm * 1 fF = 1 ps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..netlist import Module
+from ..netlist.netlist import Instance
+
+
+@dataclass(frozen=True)
+class TimingConstraints:
+    """Clock and boundary constraints for one analysis run."""
+
+    clock_period_ps: float
+    clock_port: str = "clk"
+    setup_ps: float = 120.0
+    hold_ps: float = 40.0
+    input_delay_ps: float = 0.0
+    output_delay_ps: float = 0.0
+    clock_uncertainty_ps: float = 50.0
+    #: Estimated extra wire capacitance per fanout pin when no placed
+    #: wire capacitances are supplied.
+    wire_cap_per_fanout_ff: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.clock_period_ps <= 0:
+            raise ValueError("clock period must be positive")
+
+
+@dataclass
+class PathPoint:
+    """One hop on a timing path."""
+
+    instance: str
+    cell: str
+    net: str
+    arrival_ps: float
+    delay_ps: float
+
+
+@dataclass
+class PathReport:
+    """A complete endpoint timing path."""
+
+    endpoint: str
+    endpoint_kind: str  # "flop" | "port"
+    slack_ps: float
+    arrival_ps: float
+    required_ps: float
+    points: list[PathPoint] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        lines = [
+            f"Path to {self.endpoint} ({self.endpoint_kind})",
+            f"  arrival {self.arrival_ps:8.1f} ps   required "
+            f"{self.required_ps:8.1f} ps   slack {self.slack_ps:8.1f} ps",
+        ]
+        for point in self.points:
+            lines.append(
+                f"    {point.instance:24s} {point.cell:12s} -> {point.net:20s}"
+                f" +{point.delay_ps:7.1f} @ {point.arrival_ps:8.1f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class TimingReport:
+    """QoR summary of one STA run."""
+
+    clock_period_ps: float
+    wns_ps: float
+    tns_ps: float
+    violating_endpoints: int
+    total_endpoints: int
+    hold_wns_ps: float
+    hold_violating_endpoints: int
+    critical_path: PathReport | None = None
+
+    @property
+    def setup_clean(self) -> bool:
+        return self.wns_ps >= 0.0
+
+    @property
+    def hold_clean(self) -> bool:
+        return self.hold_wns_ps >= 0.0
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Highest clock frequency this logic supports."""
+        limiting = self.clock_period_ps - self.wns_ps
+        if limiting <= 0:
+            return float("inf")
+        return 1e6 / limiting
+
+    def format_report(self) -> str:
+        lines = [
+            "STA QoR",
+            f"  clock period : {self.clock_period_ps:.0f} ps"
+            f" ({1e6 / self.clock_period_ps:.1f} MHz)",
+            f"  setup WNS    : {self.wns_ps:8.1f} ps"
+            f"   TNS {self.tns_ps:10.1f} ps"
+            f"   violations {self.violating_endpoints}/{self.total_endpoints}",
+            f"  hold  WNS    : {self.hold_wns_ps:8.1f} ps"
+            f"   violations {self.hold_violating_endpoints}",
+            f"  max frequency: {self.max_frequency_mhz:.1f} MHz",
+        ]
+        return "\n".join(lines)
+
+
+class TimingAnalyzer:
+    """Block-based STA over one flat module."""
+
+    def __init__(
+        self,
+        module: Module,
+        constraints: TimingConstraints,
+        *,
+        net_wire_cap_ff: Mapping[str, float] | None = None,
+    ) -> None:
+        self.module = module
+        self.constraints = constraints
+        self.net_wire_cap_ff = dict(net_wire_cap_ff or {})
+        self._order = module.topological_combinational_order()
+
+    # -- delay model ----------------------------------------------------
+
+    def load_cap_ff(self, net_name: str) -> float:
+        """Capacitive load on a net: pin caps plus wire cap."""
+        net = self.module.nets[net_name]
+        cap = 0.0
+        for ref in net.loads:
+            inst = self.module.instances[ref.instance]
+            cap += inst.cell.pin(ref.pin).capacitance_ff
+        wire = self.net_wire_cap_ff.get(net_name)
+        if wire is None:
+            wire = self.constraints.wire_cap_per_fanout_ff * max(net.fanout, 1)
+        return cap + wire
+
+    def stage_delay_ps(self, inst: Instance) -> float:
+        """Delay through one cell driving its output net."""
+        out_net = inst.net_of(inst.cell.output_pins[0])
+        return (
+            inst.cell.intrinsic_delay_ps
+            + inst.cell.drive_resistance_kohm * self.load_cap_ff(out_net)
+        )
+
+    # -- arrival propagation ----------------------------------------------
+
+    def _launch_arrivals(self, *, hold_mode: bool = False) -> dict[str, float]:
+        arrivals: dict[str, float] = {}
+        for name, port in self.module.ports.items():
+            if port.direction == "input":
+                # Unconstrained inputs are excluded from hold checks
+                # (standard sign-off practice: IO hold is checked only
+                # against explicit input delays).
+                arrivals[name] = (
+                    float("inf") if hold_mode else self.constraints.input_delay_ps
+                )
+        for flop in self.module.sequential_instances:
+            q_net = flop.net_of("Q")
+            arrivals[q_net] = self.stage_delay_ps(flop)
+        return arrivals
+
+    def compute_arrivals(
+        self, *, worst: bool = True, hold_mode: bool = False
+    ) -> dict[str, float]:
+        """Max (setup) or min (hold) arrival time per net."""
+        pick = max if worst else min
+        arrivals = self._launch_arrivals(hold_mode=hold_mode)
+        for inst in self._order:
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            input_arrivals = [
+                arrivals.get(inst.net_of(pin), 0.0)
+                for pin in inst.cell.input_pins
+            ]
+            base = pick(input_arrivals) if input_arrivals else 0.0
+            arrivals[out_net] = base + self.stage_delay_ps(inst)
+        return arrivals
+
+    def _endpoints(self) -> list[tuple[str, str, str]]:
+        """(key, kind, observed net) for every timing endpoint."""
+        points: list[tuple[str, str, str]] = []
+        for flop in self.module.sequential_instances:
+            points.append((flop.name, "flop", flop.net_of(flop.cell.data_pin)))
+        for name, port in self.module.ports.items():
+            if port.direction == "output":
+                points.append((name, "port", name))
+        return points
+
+    # -- analysis ---------------------------------------------------------
+
+    def analyze(self, *, with_critical_path: bool = True) -> TimingReport:
+        """Run setup and hold analysis, returning the QoR report."""
+        c = self.constraints
+        arrivals = self.compute_arrivals(worst=True)
+        min_arrivals = self.compute_arrivals(worst=False, hold_mode=True)
+
+        setup_required_flop = (
+            c.clock_period_ps - c.setup_ps - c.clock_uncertainty_ps
+        )
+        setup_required_port = c.clock_period_ps - c.output_delay_ps
+
+        wns = float("inf")
+        tns = 0.0
+        violating = 0
+        hold_wns = float("inf")
+        hold_violating = 0
+        worst_endpoint: tuple[str, str, str] | None = None
+        endpoints = self._endpoints()
+        for key, kind, net in endpoints:
+            arrival = arrivals.get(net, 0.0)
+            required = setup_required_flop if kind == "flop" else setup_required_port
+            slack = required - arrival
+            if slack < wns:
+                wns = slack
+                worst_endpoint = (key, kind, net)
+            if slack < 0:
+                tns += slack
+                violating += 1
+            if kind == "flop":
+                min_arrival = min_arrivals.get(net, float("inf"))
+                if min_arrival == float("inf"):
+                    continue  # only port-launched paths: not a hold check
+                hold_slack = min_arrival - c.hold_ps
+                hold_wns = min(hold_wns, hold_slack)
+                if hold_slack < 0:
+                    hold_violating += 1
+        if not endpoints:
+            wns = hold_wns = 0.0
+
+        critical = None
+        if with_critical_path and worst_endpoint is not None:
+            key, kind, net = worst_endpoint
+            required = setup_required_flop if kind == "flop" else setup_required_port
+            critical = self.extract_path(net, kind=kind, endpoint=key,
+                                         arrivals=arrivals, required=required)
+
+        return TimingReport(
+            clock_period_ps=c.clock_period_ps,
+            wns_ps=wns,
+            tns_ps=tns,
+            violating_endpoints=violating,
+            total_endpoints=len(endpoints),
+            hold_wns_ps=hold_wns if hold_wns != float("inf") else 0.0,
+            hold_violating_endpoints=hold_violating,
+            critical_path=critical,
+        )
+
+    def extract_path(
+        self,
+        net: str,
+        *,
+        kind: str,
+        endpoint: str,
+        arrivals: Mapping[str, float] | None = None,
+        required: float | None = None,
+    ) -> PathReport:
+        """Trace the worst path ending at ``net``."""
+        if arrivals is None:
+            arrivals = self.compute_arrivals(worst=True)
+        if required is None:
+            c = self.constraints
+            required = (
+                c.clock_period_ps - c.setup_ps - c.clock_uncertainty_ps
+                if kind == "flop"
+                else c.clock_period_ps - c.output_delay_ps
+            )
+        points: list[PathPoint] = []
+        current = net
+        for _ in range(len(self.module.instances) + 2):
+            driver = self.module.nets[current].driver
+            if driver is None:
+                break
+            inst = self.module.instances[driver.instance]
+            points.append(
+                PathPoint(
+                    instance=inst.name,
+                    cell=inst.cell.name,
+                    net=current,
+                    arrival_ps=arrivals.get(current, 0.0),
+                    delay_ps=self.stage_delay_ps(inst),
+                )
+            )
+            if inst.cell.is_sequential:
+                break
+            # Step to the input with the latest arrival.
+            best_net, best_arrival = None, -1.0
+            for pin in inst.cell.input_pins:
+                pin_net = inst.net_of(pin)
+                if arrivals.get(pin_net, 0.0) >= best_arrival:
+                    best_net = pin_net
+                    best_arrival = arrivals.get(pin_net, 0.0)
+            if best_net is None:
+                break
+            current = best_net
+        points.reverse()
+        arrival = arrivals.get(net, 0.0)
+        return PathReport(
+            endpoint=endpoint,
+            endpoint_kind=kind,
+            slack_ps=required - arrival,
+            arrival_ps=arrival,
+            required_ps=required,
+            points=points,
+        )
+
+    def endpoint_slacks(self) -> dict[str, float]:
+        """Setup slack for every endpoint (flop name or output port)."""
+        c = self.constraints
+        arrivals = self.compute_arrivals(worst=True)
+        slacks: dict[str, float] = {}
+        for key, kind, net in self._endpoints():
+            required = (
+                c.clock_period_ps - c.setup_ps - c.clock_uncertainty_ps
+                if kind == "flop"
+                else c.clock_period_ps - c.output_delay_ps
+            )
+            slacks[key] = required - arrivals.get(net, 0.0)
+        return slacks

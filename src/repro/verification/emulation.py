@@ -1,0 +1,141 @@
+"""Hybrid emulation/simulation campaign planning.
+
+Section 3: "After whole system verification with hybrid
+emulation/simulation, it was implemented in TSMC 0.25um..."  The
+trade the team navigated: a gate-level simulator is slow but X-accurate
+and compiles in minutes; an emulator runs orders of magnitude faster
+but costs long compiles and two-state semantics.  For a campaign of
+debug iterations plus bulk regression cycles there is a crossover, and
+the hybrid (debug on the simulator, bulk on the emulator) dominates --
+this module computes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VerificationPlatform:
+    """One execution vehicle for the system testbench."""
+
+    name: str
+    cycles_per_second: float
+    compile_hours: float
+    x_accurate: bool
+    recompiles_per_debug_iteration: float = 1.0
+
+    def run_hours(self, cycles: float) -> float:
+        return cycles / self.cycles_per_second / 3600.0
+
+
+#: A 2003-era gate-level logic simulator on a workstation, running the
+#: FULL 240K-gate chip (system-level throughput, not block-level).
+SIMULATOR = VerificationPlatform(
+    "gate-level simulator", cycles_per_second=100.0,
+    compile_hours=0.3, x_accurate=True,
+)
+
+#: A hardware emulator of the same era.
+EMULATOR = VerificationPlatform(
+    "emulator", cycles_per_second=500_000.0,
+    compile_hours=30.0, x_accurate=False,
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The verification workload of the SoC project."""
+
+    debug_iterations: int = 40          # RTL bug-fix loops
+    debug_cycles_each: float = 50_000   # short directed runs
+    regression_cycles: float = 2e8      # bulk system cycles (frames)
+
+
+@dataclass
+class CampaignPlan:
+    """Wall-clock breakdown of one strategy."""
+
+    strategy: str
+    debug_hours: float
+    regression_hours: float
+    compile_hours: float
+
+    @property
+    def total_hours(self) -> float:
+        return self.debug_hours + self.regression_hours + self.compile_hours
+
+    @property
+    def total_weeks(self) -> float:
+        return self.total_hours / (24.0 * 7.0)
+
+    def format_report(self) -> str:
+        return (
+            f"{self.strategy:24s} debug {self.debug_hours:8.1f} h  "
+            f"regress {self.regression_hours:8.1f} h  "
+            f"compile {self.compile_hours:7.1f} h  "
+            f"total {self.total_weeks:5.1f} wk"
+        )
+
+
+def plan_simulator_only(spec: CampaignSpec,
+                        simulator: VerificationPlatform = SIMULATOR
+                        ) -> CampaignPlan:
+    """Everything on the simulator."""
+    debug = spec.debug_iterations * simulator.run_hours(
+        spec.debug_cycles_each
+    )
+    compiles = (spec.debug_iterations
+                * simulator.recompiles_per_debug_iteration
+                * simulator.compile_hours)
+    return CampaignPlan(
+        strategy="simulator only",
+        debug_hours=debug,
+        regression_hours=simulator.run_hours(spec.regression_cycles),
+        compile_hours=compiles + simulator.compile_hours,
+    )
+
+
+def plan_emulator_only(spec: CampaignSpec,
+                       emulator: VerificationPlatform = EMULATOR
+                       ) -> CampaignPlan:
+    """Everything on the emulator: every debug fix pays a recompile."""
+    debug = spec.debug_iterations * emulator.run_hours(
+        spec.debug_cycles_each
+    )
+    compiles = (spec.debug_iterations
+                * emulator.recompiles_per_debug_iteration
+                * emulator.compile_hours)
+    return CampaignPlan(
+        strategy="emulator only",
+        debug_hours=debug,
+        regression_hours=emulator.run_hours(spec.regression_cycles),
+        compile_hours=compiles + emulator.compile_hours,
+    )
+
+
+def plan_hybrid(spec: CampaignSpec,
+                simulator: VerificationPlatform = SIMULATOR,
+                emulator: VerificationPlatform = EMULATOR) -> CampaignPlan:
+    """The paper's approach: debug on the simulator (X-accurate, cheap
+    recompiles), bulk regression on the emulator (one compile)."""
+    debug = spec.debug_iterations * simulator.run_hours(
+        spec.debug_cycles_each
+    )
+    compiles = (spec.debug_iterations
+                * simulator.recompiles_per_debug_iteration
+                * simulator.compile_hours
+                + emulator.compile_hours)  # one emulator build at the end
+    return CampaignPlan(
+        strategy="hybrid (sim + emu)",
+        debug_hours=debug,
+        regression_hours=emulator.run_hours(spec.regression_cycles),
+        compile_hours=compiles,
+    )
+
+
+def best_strategy(spec: CampaignSpec) -> CampaignPlan:
+    """The minimum-wall-clock plan for a campaign."""
+    plans = [plan_simulator_only(spec), plan_emulator_only(spec),
+             plan_hybrid(spec)]
+    return min(plans, key=lambda p: p.total_hours)

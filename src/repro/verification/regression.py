@@ -1,0 +1,119 @@
+"""Regression running and cross-simulator consistency checking.
+
+Experiment E13 lives here: the same suite is executed under both
+vendor dialects (:data:`repro.sim.VENDOR_A_SIM` /
+:data:`repro.sim.VENDOR_B_SIM`) and per-bench verdicts and traces are
+compared.  A bench whose result depends on the simulator is exactly
+the "inconsistency between simulators/versions among customer, IP
+vendors and us" that cost the paper's team sign-off time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..netlist import Module
+from ..sim import (
+    SimulatorConfig,
+    VENDOR_A_SIM,
+    VENDOR_B_SIM,
+    diff_traces,
+)
+from .testbench import Testbench, TestbenchResult
+
+
+@dataclass
+class RegressionReport:
+    """Suite results under one simulator dialect."""
+
+    dialect: str
+    results: list[TestbenchResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.passed
+
+    @property
+    def clean(self) -> bool:
+        return self.failed == 0
+
+    def format_report(self) -> str:
+        lines = [f"Regression under {self.dialect}: "
+                 f"{self.passed}/{len(self.results)} pass"]
+        for result in self.results:
+            status = "PASS" if result.passed else "FAIL"
+            lines.append(f"  {result.name:30s} {status}")
+            for mismatch in result.mismatches[:3]:
+                lines.append(f"      {mismatch}")
+        return "\n".join(lines)
+
+
+def run_regression(
+    module: Module,
+    testbenches: Sequence[Testbench],
+    *,
+    config: SimulatorConfig | None = None,
+) -> RegressionReport:
+    """Run every bench under one dialect."""
+    config = config or VENDOR_A_SIM
+    report = RegressionReport(dialect=config.name)
+    for bench in testbenches:
+        report.results.append(bench.run(module, config))
+    return report
+
+
+@dataclass
+class CrossSimReport:
+    """Dialect-to-dialect comparison of one suite."""
+
+    report_a: RegressionReport
+    report_b: RegressionReport
+    verdict_mismatches: list[str] = field(default_factory=list)
+    trace_mismatch_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.verdict_mismatches and not any(
+            count for count in self.trace_mismatch_counts.values()
+        )
+
+    @property
+    def total_trace_mismatches(self) -> int:
+        return sum(self.trace_mismatch_counts.values())
+
+    def format_report(self) -> str:
+        lines = [
+            "Cross-simulator consistency "
+            f"({self.report_a.dialect} vs {self.report_b.dialect})",
+            f"  verdict mismatches : {len(self.verdict_mismatches)}",
+            f"  trace mismatches   : {self.total_trace_mismatches}",
+            f"  consistent         : {self.consistent}",
+        ]
+        for name in self.verdict_mismatches:
+            lines.append(f"    verdict differs: {name}")
+        return "\n".join(lines)
+
+
+def cross_simulator_check(
+    module: Module,
+    testbenches: Sequence[Testbench],
+    *,
+    config_a: SimulatorConfig = VENDOR_A_SIM,
+    config_b: SimulatorConfig = VENDOR_B_SIM,
+) -> CrossSimReport:
+    """Run the suite under two dialects and reconcile (E13)."""
+    report_a = run_regression(module, testbenches, config=config_a)
+    report_b = run_regression(module, testbenches, config=config_b)
+    cross = CrossSimReport(report_a, report_b)
+    for result_a, result_b in zip(report_a.results, report_b.results):
+        if result_a.passed != result_b.passed:
+            cross.verdict_mismatches.append(result_a.name)
+        if result_a.trace is not None and result_b.trace is not None:
+            mismatches = diff_traces(result_a.trace, result_b.trace)
+            cross.trace_mismatch_counts[result_a.name] = len(mismatches)
+    return cross

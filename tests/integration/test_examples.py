@@ -1,0 +1,39 @@
+"""Every shipped example must run clean -- they are deliverables, not
+decoration."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-800:]
+    assert result.stdout.strip(), "example produced no output"
+    # No stack traces or failure markers in the narrative output.
+    assert "Traceback" not in result.stderr
+    # Expected FAIL rows exist (e.g. software JPEG missing the frame
+    # budget is the point of E2); catastrophic markers must not.
+    assert "CONCLUSION: inconclusive" not in result.stdout
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLE_SCRIPTS}
+    for required in ("quickstart.py", "dsc_camera_pipeline.py",
+                     "yield_ramp.py", "eco_flow.py", "mbist_signoff.py",
+                     "soc_integration.py", "advanced_flow.py",
+                     "netlist_handoff.py"):
+        assert required in names

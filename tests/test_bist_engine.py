@@ -1,0 +1,57 @@
+"""Tests for MBIST session execution."""
+
+import pytest
+
+from repro.netlist import make_default_library
+from repro.mbist import (
+    BistGenerator,
+    build_memories,
+    dsc_memory_set,
+    run_bist_session,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    lib = make_default_library(0.25)
+    return BistGenerator(lib).plan(dsc_memory_set(), sharing="shared")
+
+
+class TestBistSession:
+    def test_clean_silicon_passes(self, plan):
+        memories = build_memories(dsc_memory_set())
+        result = run_bist_session(plan, memories)
+        assert result.all_pass
+        assert len(result.per_memory_pass) == 30
+        assert result.groups_run == len(plan.groups)
+
+    def test_defective_macro_caught_and_named(self, plan):
+        memories = build_memories(
+            dsc_memory_set(),
+            defective={"cpu_icache0": "SAF", "usb_fifo1": "CFid"},
+            seed=5,
+        )
+        result = run_bist_session(plan, memories)
+        assert not result.all_pass
+        assert "cpu_icache0" in result.failing_memories
+        assert "usb_fifo1" in result.failing_memories
+        assert len(result.failing_memories) == 2
+
+    def test_cycles_match_plan(self, plan):
+        memories = build_memories(dsc_memory_set())
+        result = run_bist_session(plan, memories, max_parallel_groups=4)
+        assert result.cycles_executed == plan.test_cycles
+
+    def test_missing_memory_rejected(self, plan):
+        memories = build_memories(dsc_memory_set())
+        del memories["line_buffer0"]
+        with pytest.raises(KeyError, match="line_buffer0"):
+            run_bist_session(plan, memories)
+
+    def test_report_format(self, plan):
+        memories = build_memories(
+            dsc_memory_set(), defective={"misc_reg0": "TF"}, seed=2
+        )
+        text = run_bist_session(plan, memories).format_report()
+        assert "FAIL misc_reg0" in text
+        assert "verdict    : FAIL" in text

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("flow", "camera", "ramp", "atpg", "mbist",
+                        "pins", "migrate"):
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_migrate(self, capsys):
+        assert main(["migrate"]) == 0
+        out = capsys.readouterr().out
+        assert "die cost saving" in out
+        assert "20" in out
+
+    def test_ramp(self, capsys):
+        assert main(["ramp", "--months", "8", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "foundry model: 93.4%" in out
+
+    def test_camera_writes_jpeg(self, capsys, tmp_path):
+        out_path = tmp_path / "shot.jpg"
+        assert main(["camera", "--grade", "2mp", "--out",
+                     str(out_path)]) == 0
+        assert out_path.exists()
+        assert out_path.read_bytes()[:2] == b"\xff\xd8"
+        assert "PSNR" in capsys.readouterr().out
+
+    def test_atpg_small(self, capsys):
+        assert main(["atpg", "--gates", "300", "--patterns", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "fault coverage" in out
+
+    def test_mbist(self, capsys):
+        assert main(["mbist", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern generators : 30" in out
+
+    def test_pins(self, capsys):
+        assert main(["pins", "--iterations", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "initial substrate layers" in out
+
+    def test_flow_tiny(self, capsys):
+        assert main(["flow", "--scale", "0.01", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SOC DESIGN SERVICE FLOW REPORT" in out

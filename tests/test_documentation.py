@@ -1,0 +1,66 @@
+"""Documentation meta-tests: the public API must be documented.
+
+Deliverable (e) demands doc comments on every public item; this test
+makes the requirement executable so it cannot rot.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.netlist", "repro.sim", "repro.verification", "repro.formal",
+    "repro.jpeg", "repro.mbist", "repro.dft", "repro.sta",
+    "repro.physical", "repro.package", "repro.eco", "repro.ip",
+    "repro.manufacturing", "repro.reliability", "repro.fa",
+    "repro.project", "repro.dsc", "repro.soc", "repro.si", "repro.dfm",
+    "repro.lowpower", "repro.core",
+]
+
+
+def iter_modules():
+    for name in SUBPACKAGES:
+        package = importlib.import_module(name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{name}.{info.name}")
+
+
+@pytest.mark.parametrize("module", list(iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("package_name", SUBPACKAGES)
+def test_public_symbols_documented(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    undocumented = []
+    for symbol_name in exported:
+        symbol = getattr(package, symbol_name)
+        if inspect.isclass(symbol) or inspect.isfunction(symbol):
+            if not (symbol.__doc__ and symbol.__doc__.strip()):
+                undocumented.append(symbol_name)
+    assert not undocumented, (
+        f"{package_name}: undocumented public symbols {undocumented}"
+    )
+
+
+def test_top_level_docstring_mentions_the_paper():
+    assert "DATE 2005" in (repro.__doc__ or "")
+
+
+def test_every_subpackage_exported_in_docs():
+    """The README architecture section names every subpackage."""
+    from pathlib import Path
+
+    readme = (Path(repro.__file__).resolve().parents[2]
+              / "README.md").read_text()
+    for name in SUBPACKAGES:
+        short = name.split(".")[1]
+        assert f"{short}/" in readme, f"{short} missing from README"

@@ -1,0 +1,150 @@
+"""Tests for equivalence checking."""
+
+import pytest
+
+from repro.netlist import Module, counter, make_default_library
+from repro.netlist.generators import random_combinational_cloud
+from repro.dft import insert_scan
+from repro.formal import (
+    InterfaceMismatch,
+    check_combinational_equivalence,
+    check_sequential_burn_in,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+class TestCombinationalEquivalence:
+    def test_copy_is_equivalent_exhaustive(self, lib):
+        m = random_combinational_cloud(
+            "c", lib, n_inputs=6, n_outputs=3, n_gates=40, seed=1
+        )
+        result = check_combinational_equivalence(m, m.copy("dup"))
+        assert result.equivalent
+        assert result.mode == "exhaustive"
+        assert result.vectors_run == 64
+
+    def test_resized_cells_still_equivalent(self, lib):
+        """Drive-strength swaps change timing, never function."""
+        m = random_combinational_cloud(
+            "c", lib, n_inputs=6, n_outputs=2, n_gates=30, seed=2
+        )
+        revised = m.copy("r")
+        swapped = 0
+        for inst in list(revised.instances.values()):
+            variants = lib.drive_variants(inst.cell.footprint)
+            if len(variants) > 1 and inst.cell.name != variants[-1].name:
+                revised.swap_cell(inst.name, variants[-1].name)
+                swapped += 1
+        assert swapped > 0
+        assert check_combinational_equivalence(m, revised).equivalent
+
+    def test_functional_change_caught_with_counterexample(self, lib):
+        m = random_combinational_cloud(
+            "c", lib, n_inputs=6, n_outputs=3, n_gates=40, seed=3
+        )
+        revised = m.copy("r")
+        # Break one gate: NAND -> NOR on some instance.
+        victim = next(
+            i.name for i in revised.instances.values()
+            if i.cell.footprint == "NAND2"
+        )
+        conn = dict(revised.instances[victim].connections)
+        revised.remove_instance(victim)
+        revised.add_instance(victim, "NOR2_X1", conn)
+        result = check_combinational_equivalence(m, revised)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        assert result.mismatched_outputs
+
+    def test_counterexample_replays(self, lib):
+        from repro.dft.faultsim import CombinationalView
+
+        m = random_combinational_cloud(
+            "c", lib, n_inputs=5, n_outputs=2, n_gates=25, seed=4
+        )
+        revised = m.copy("r")
+        victim = next(
+            i.name for i in revised.instances.values()
+            if i.cell.footprint in ("NAND2", "NOR2", "AND2", "OR2")
+        )
+        conn = dict(revised.instances[victim].connections)
+        cell = ("NOR2_X1"
+                if revised.instances[victim].cell.footprint != "NOR2"
+                else "NAND2_X1")
+        revised.remove_instance(victim)
+        revised.add_instance(victim, cell, conn)
+        result = check_combinational_equivalence(m, revised)
+        assert not result.equivalent
+        vg = CombinationalView(m).evaluate(result.counterexample, 1)
+        vr = CombinationalView(revised).evaluate(result.counterexample, 1)
+        assert any(
+            vg.get(net, 0) != vr.get(net, 0)
+            for net in result.mismatched_outputs
+        )
+
+    def test_random_mode_for_wide_designs(self, lib):
+        m = random_combinational_cloud(
+            "c", lib, n_inputs=24, n_outputs=4, n_gates=80, seed=5
+        )
+        result = check_combinational_equivalence(
+            m, m.copy("dup"), max_random_vectors=512
+        )
+        assert result.equivalent
+        assert result.mode == "random"
+
+    def test_disjoint_interfaces_rejected(self, lib):
+        a = random_combinational_cloud(
+            "a", lib, n_inputs=3, n_outputs=1, n_gates=10, seed=6
+        )
+        b = Module("b", lib)
+        b.add_port("zz", "input")
+        b.add_port("yy", "output")
+        b.add_instance("u0", "INV_X1", {"A": "zz", "Y": "yy"})
+        with pytest.raises(InterfaceMismatch):
+            check_combinational_equivalence(a, b)
+
+
+class TestSequentialBurnIn:
+    def test_counter_vs_copy(self, lib):
+        m = counter("cnt", lib, width=6)
+        result = check_sequential_burn_in(m, m.copy("dup"), cycles=32)
+        assert result.equivalent
+
+    def test_scan_inserted_design_matches_original(self, lib):
+        """Scan insertion with scan_en low must be transparent --
+        the formal sign-off step after DFT insertion."""
+        m = counter("cnt", lib, width=6)
+        scanned, _ = insert_scan(m)
+        result = check_sequential_burn_in(m, scanned, cycles=48)
+        assert result.equivalent, result.notes
+
+    def test_width_mismatch_detected(self, lib):
+        a = counter("cnt", lib, width=4)
+        b = counter("cnt", lib, width=4)
+        # Sabotage b: swap the XOR on bit 2 for XNOR.
+        conn = dict(b.instances["sum2"].connections)
+        b.remove_instance("sum2")
+        b.add_instance("sum2", "XNOR2_X1", conn)
+        result = check_sequential_burn_in(a, b, cycles=16)
+        assert not result.equivalent
+        assert "cycle" in result.notes
+
+    def test_no_common_outputs_rejected(self, lib):
+        a = counter("cnt", lib, width=2)
+        b = Module("b", lib)
+        b.add_port("clk", "input")
+        b.add_port("weird", "output")
+        b.add_instance("f", "DFF", {"D": "weird2", "CK": "clk", "Q": "weird2x"})
+        b.add_instance("i", "INV_X1", {"A": "weird2x", "Y": "weird"})
+        b.add_instance("i2", "INV_X1", {"A": "weird2x", "Y": "weird2"})
+        with pytest.raises(InterfaceMismatch):
+            check_sequential_burn_in(a, b)
+
+    def test_report_format(self, lib):
+        m = counter("cnt", lib, width=3)
+        result = check_sequential_burn_in(m, m.copy("d"), cycles=8)
+        assert "EQUIVALENT" in result.format_report()

@@ -1,0 +1,136 @@
+"""Tests for the IP catalogue, hardening and integration models."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_default_library
+from repro.ip import (
+    Deliverable,
+    HdlLanguage,
+    IpBlock,
+    IpCatalog,
+    IpSource,
+    SOFT_IP_CHECKLIST,
+    dsc_ip_catalog,
+    harden,
+    hardening_upgrades,
+    maturity_vs_revisions_curve,
+    run_integration_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return dsc_ip_catalog()
+
+
+class TestCatalog:
+    def test_paper_inventory(self, catalog):
+        """E1 inputs: 240K gates, 30 memory macros, the Section-2 IP
+        list."""
+        assert catalog.total_gate_budget == 240_000
+        assert catalog.total_memory_macros == 30
+        names = {b.name for b in catalog}
+        for expected in ("risc_dsp", "jpeg_codec", "usb11", "sd_mmc",
+                         "sdram_ctrl", "lcd_if", "tv_encoder",
+                         "video_dac10", "lcd_dac8", "pll_a", "pll_b"):
+            assert expected in names
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.add(IpBlock(
+                name="usb11", function="dup", source=IpSource.IN_HOUSE,
+                language=HdlLanguage.VERILOG, gate_budget=1,
+            ))
+
+    def test_get_unknown_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("nonexistent")
+
+    def test_usb_is_riskiest(self, catalog):
+        """The paper's worst IP experience was the FPGA-targeted USB."""
+        assert catalog.riskiest(1)[0].name == "usb11"
+
+    def test_usb_needs_over_10_revisions(self, catalog):
+        usb = catalog.get("usb11")
+        assert usb.expected_revision_cycles > 10.0
+
+    def test_in_house_ip_is_cheap(self, catalog):
+        sdram = catalog.get("sdram_ctrl")
+        assert sdram.maturity_score == 1.0
+        assert sdram.expected_revision_cycles == pytest.approx(1.0)
+
+    def test_maturity_monotone_in_deliverables(self):
+        base = dict(
+            name="x", function="f", source=IpSource.THIRD_PARTY,
+            language=HdlLanguage.VERILOG, gate_budget=1000,
+        )
+        empty = IpBlock(**base, deliverables=frozenset())
+        full = IpBlock(**base, deliverables=frozenset(SOFT_IP_CHECKLIST))
+        assert full.maturity_score > empty.maturity_score
+
+    def test_missing_deliverables_listed(self, catalog):
+        usb = catalog.get("usb11")
+        missing = usb.missing_deliverables()
+        assert Deliverable.SYNTHESIS_SCRIPT in missing
+
+    def test_report_format(self, catalog):
+        text = catalog.format_report()
+        assert "usb11" in text
+        assert "240000 gates" in text
+
+
+class TestHardening:
+    @pytest.fixture(scope="class")
+    def lib(self):
+        return make_default_library(0.25)
+
+    def test_cpu_hardening(self, catalog, lib):
+        cpu = catalog.get("risc_dsp")
+        result = harden(cpu, lib, target_mhz=133.0, scale=0.02, seed=1)
+        assert result.meets_target
+        assert result.scan_report.total_scan_flops > 0
+        assert result.macro.area_um2 > 1e5
+        assert "Hardening risc_dsp" in result.format_report()
+
+    def test_analog_ip_rejected(self, catalog, lib):
+        with pytest.raises(ValueError, match="analogue"):
+            harden(catalog.get("pll_a"), lib)
+
+    def test_hardening_upgrades_catalogue_entry(self, catalog):
+        cpu = catalog.get("risc_dsp")
+        upgraded = hardening_upgrades(cpu)
+        assert upgraded.is_hard
+        assert upgraded.language is HdlLanguage.NETLIST_HARD
+        assert Deliverable.TIMING_MODEL in upgraded.deliverables
+        assert upgraded.maturity_score > cpu.maturity_score
+
+
+class TestIntegrationCampaign:
+    def test_campaign_covers_all_blocks(self, catalog):
+        campaign = run_integration_campaign(catalog, seed=3)
+        assert len(campaign.outcomes) == len(catalog)
+        assert campaign.total_days > 0
+
+    def test_usb_dominates_campaign(self, catalog):
+        """E14: over several seeds, the USB core is consistently the
+        worst integration burden."""
+        worst_counts = 0
+        for seed in range(8):
+            campaign = run_integration_campaign(catalog, seed=seed)
+            if campaign.worst().block == "usb11":
+                worst_counts += 1
+        assert worst_counts >= 6
+
+    def test_expected_cycles_match_sampling(self, catalog):
+        usb = catalog.get("usb11")
+        maturity, mean_sampled = maturity_vs_revisions_curve(
+            usb, trials=2000, seed=4
+        )
+        assert mean_sampled == pytest.approx(
+            usb.expected_revision_cycles, rel=0.1
+        )
+
+    def test_report_format(self, catalog):
+        campaign = run_integration_campaign(catalog, seed=5)
+        assert "revision cycles" in campaign.format_report()

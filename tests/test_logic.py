@@ -1,0 +1,137 @@
+"""Unit tests for four-value logic primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist import (
+    Logic,
+    bits_to_int,
+    int_to_bits,
+    logic_and,
+    logic_buf,
+    logic_mux,
+    logic_nand,
+    logic_nor,
+    logic_not,
+    logic_or,
+    logic_xnor,
+    logic_xor,
+    resolve,
+)
+
+KNOWN = [Logic.ZERO, Logic.ONE]
+ALL = [Logic.ZERO, Logic.ONE, Logic.X, Logic.Z]
+
+
+class TestBasicGates:
+    def test_not_truth_table(self):
+        assert logic_not(Logic.ZERO) is Logic.ONE
+        assert logic_not(Logic.ONE) is Logic.ZERO
+        assert logic_not(Logic.X) is Logic.X
+        assert logic_not(Logic.Z) is Logic.X
+
+    def test_and_known(self):
+        for a in KNOWN:
+            for b in KNOWN:
+                expected = Logic.from_bool(a.to_bool() and b.to_bool())
+                assert logic_and(a, b) is expected
+
+    def test_and_controlling_zero_dominates_x(self):
+        assert logic_and(Logic.ZERO, Logic.X) is Logic.ZERO
+        assert logic_and(Logic.X, Logic.ZERO) is Logic.ZERO
+        assert logic_and(Logic.ONE, Logic.X) is Logic.X
+
+    def test_or_controlling_one_dominates_x(self):
+        assert logic_or(Logic.ONE, Logic.X) is Logic.ONE
+        assert logic_or(Logic.X, Logic.ONE) is Logic.ONE
+        assert logic_or(Logic.ZERO, Logic.X) is Logic.X
+
+    def test_xor_poisoned_by_x(self):
+        assert logic_xor(Logic.ONE, Logic.X) is Logic.X
+        assert logic_xor(Logic.ONE, Logic.ZERO) is Logic.ONE
+        assert logic_xor(Logic.ONE, Logic.ONE) is Logic.ZERO
+
+    def test_z_reads_as_x_at_gate_input(self):
+        assert logic_buf(Logic.Z) is Logic.X
+        assert logic_and(Logic.Z, Logic.ONE) is Logic.X
+        assert logic_and(Logic.Z, Logic.ZERO) is Logic.ZERO
+
+    def test_derived_gates_consistent(self):
+        for a in ALL:
+            for b in ALL:
+                assert logic_nand(a, b) is logic_not(logic_and(a, b))
+                assert logic_nor(a, b) is logic_not(logic_or(a, b))
+                assert logic_xnor(a, b) is logic_not(logic_xor(a, b))
+
+
+class TestMux:
+    def test_select_known(self):
+        assert logic_mux(Logic.ZERO, Logic.ONE, Logic.ZERO) is Logic.ONE
+        assert logic_mux(Logic.ONE, Logic.ONE, Logic.ZERO) is Logic.ZERO
+
+    def test_select_x_agreeing_inputs(self):
+        assert logic_mux(Logic.X, Logic.ONE, Logic.ONE) is Logic.ONE
+        assert logic_mux(Logic.X, Logic.ZERO, Logic.ZERO) is Logic.ZERO
+
+    def test_select_x_disagreeing_inputs(self):
+        assert logic_mux(Logic.X, Logic.ONE, Logic.ZERO) is Logic.X
+
+
+class TestResolve:
+    def test_undriven_is_z(self):
+        assert resolve([]) is Logic.Z
+        assert resolve([Logic.Z, Logic.Z]) is Logic.Z
+
+    def test_single_driver_wins(self):
+        assert resolve([Logic.Z, Logic.ONE]) is Logic.ONE
+        assert resolve([Logic.ZERO, Logic.Z]) is Logic.ZERO
+
+    def test_conflict_is_x(self):
+        assert resolve([Logic.ONE, Logic.ZERO]) is Logic.X
+
+    def test_agreeing_drivers_ok(self):
+        assert resolve([Logic.ONE, Logic.ONE]) is Logic.ONE
+
+
+class TestConversions:
+    def test_from_char_roundtrip(self):
+        for char, value in [("0", Logic.ZERO), ("1", Logic.ONE),
+                            ("x", Logic.X), ("Z", Logic.Z)]:
+            assert Logic.from_char(char) is value
+
+    def test_from_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Logic.from_char("q")
+
+    def test_to_bool_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Logic.X.to_bool()
+        with pytest.raises(ValueError):
+            Logic.Z.to_bool()
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_bits_to_int_rejects_x(self):
+        with pytest.raises(ValueError):
+            bits_to_int([Logic.ONE, Logic.X])
+
+
+@given(st.lists(st.sampled_from(ALL), min_size=1, max_size=6))
+def test_and_or_duality(values):
+    """De Morgan holds in four-value logic."""
+    assert logic_not(logic_and(*values)) is logic_or(
+        *[logic_not(v) for v in values]
+    )
+
+
+@given(st.lists(st.sampled_from(ALL), min_size=2, max_size=6))
+def test_gates_never_return_z(values):
+    """Gate outputs are always driven: never high-impedance."""
+    for fn in (logic_and, logic_or, logic_xor, logic_nand, logic_nor):
+        assert fn(*values) is not Logic.Z

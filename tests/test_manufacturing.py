@@ -1,0 +1,237 @@
+"""Tests for yield models, wafers, probe, ramp, cost and production."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.manufacturing import (
+    DSC_DIE_AREA_MM2,
+    DefectModel,
+    MarketModel,
+    NODE_018,
+    NODE_025,
+    ParametricModel,
+    ProbeCardSetup,
+    ProductionPlan,
+    SystematicLoss,
+    WaferSpec,
+    YieldStack,
+    die_cost,
+    foundry_model_yield,
+    gross_dies_per_wafer,
+    initial_ramp_state,
+    migrate_dsc,
+    probe_population,
+    run_corner_split,
+    simulate_production,
+    simulate_ramp,
+    simulate_wafer,
+)
+
+
+class TestDefectModel:
+    def test_larger_die_yields_worse(self):
+        model = DefectModel(d0_per_cm2=0.5)
+        assert model.yield_for_area(50) > model.yield_for_area(100)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ValueError):
+            DefectModel().yield_for_area(0)
+
+    def test_monte_carlo_matches_closed_form(self):
+        model = DefectModel(d0_per_cm2=0.4, alpha=2.0)
+        rng = np.random.default_rng(0)
+        defects = model.sample_defect_counts(80.0, 200_000, rng)
+        empirical = float((defects == 0).mean())
+        assert empirical == pytest.approx(model.yield_for_area(80.0),
+                                          abs=0.005)
+
+    @given(st.floats(min_value=10, max_value=400),
+           st.floats(min_value=0.05, max_value=2.0))
+    def test_yield_in_unit_interval(self, area, d0):
+        value = DefectModel(d0_per_cm2=d0).yield_for_area(area)
+        assert 0.0 < value <= 1.0
+
+
+class TestParametricModel:
+    def test_centred_process_yields_best(self):
+        centred = ParametricModel(cd_offset_um=0.0)
+        skewed = ParametricModel(cd_offset_um=0.02)
+        assert centred.yield_fraction() > skewed.yield_fraction()
+
+    def test_retarget_restores_yield(self):
+        skewed = ParametricModel(cd_offset_um=0.018)
+        fixed = skewed.retargeted(0.0)
+        assert fixed.yield_fraction() > skewed.yield_fraction()
+
+    def test_sample_pass_tracks_closed_form_direction(self):
+        rng = np.random.default_rng(1)
+        centred = ParametricModel(cd_offset_um=0.0)
+        skewed = ParametricModel(cd_offset_um=0.02)
+        assert centred.sample_pass(20_000, rng).mean() > \
+            skewed.sample_pass(20_000, rng).mean()
+
+
+class TestYieldStack:
+    def test_breakdown_multiplies_to_total(self):
+        stack = YieldStack(
+            defect=DefectModel(0.2),
+            parametric=ParametricModel(cd_offset_um=0.01),
+            systematics=(SystematicLoss("weak_buffer", 0.05),),
+            test_overkill_fraction=0.02,
+        )
+        breakdown = stack.breakdown(72.0)
+        product = float(np.prod(list(breakdown.values())))
+        assert product == pytest.approx(stack.expected_yield(72.0))
+
+    def test_inactive_systematic_is_free(self):
+        inactive = SystematicLoss("fixed", 0.10, active=False)
+        assert inactive.yield_factor == 1.0
+
+    def test_bad_loss_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SystematicLoss("bad", 1.5)
+
+
+class TestWafer:
+    def test_gross_dies_decreases_with_area(self):
+        wafer = WaferSpec()
+        assert gross_dies_per_wafer(wafer, 50) > gross_dies_per_wafer(wafer, 100)
+
+    def test_dsc_die_count_plausible(self):
+        # ~8.5 mm square die on a 200 mm wafer: a few hundred dies.
+        gross = gross_dies_per_wafer(WaferSpec(), DSC_DIE_AREA_MM2)
+        assert 250 <= gross <= 450
+
+    def test_simulated_wafer_map(self):
+        state = initial_ramp_state()
+        rng = np.random.default_rng(2)
+        wafer_map = simulate_wafer(
+            state.stack, die_width_mm=8.5, die_height_mm=8.5, rng=rng
+        )
+        assert wafer_map.gross > 200
+        assert 0.5 < wafer_map.measured_yield < 1.0
+        art = wafer_map.ascii_map()
+        assert "." in art
+
+    def test_bad_area_rejected(self):
+        with pytest.raises(ValueError):
+            gross_dies_per_wafer(WaferSpec(), -1.0)
+
+
+class TestProbe:
+    def test_suboptimal_setup_overkills(self):
+        setup = ProbeCardSetup(overdrive_um=45.0, relay_settling_ms=2.0)
+        assert setup.total_overkill() > 0.02
+
+    def test_optimized_setup_near_zero_overkill(self):
+        optimized = ProbeCardSetup().optimized()
+        assert optimized.total_overkill() < 0.001
+
+    def test_probe_population_counts(self):
+        rng = np.random.default_rng(3)
+        truth = np.ones(10_000, dtype=bool)
+        result = probe_population(
+            truth, ProbeCardSetup(overdrive_um=40.0), rng=rng
+        )
+        assert result.measured_yield < result.true_yield
+        assert result.overkill > 0
+
+
+class TestCornerSplit:
+    def test_split_finds_corrective_skew(self):
+        parametric = ParametricModel(cd_offset_um=0.014)
+        split = run_corner_split(
+            parametric, process_offset_um=0.014, dies_per_split=4000, seed=4
+        )
+        # The winning skew must pull the centring back toward zero.
+        assert split.best_offset_um < 0
+        assert "retarget" in split.format_report()
+
+
+class TestRamp:
+    @pytest.fixture(scope="class")
+    def ramp(self):
+        return simulate_ramp(seed=7)
+
+    def test_initial_yield_near_827(self):
+        state = initial_ramp_state()
+        assert state.measured_yield(DSC_DIE_AREA_MM2) == pytest.approx(
+            0.827, abs=0.01
+        )
+
+    def test_foundry_model_near_934(self):
+        state = initial_ramp_state()
+        assert foundry_model_yield(state, DSC_DIE_AREA_MM2) == pytest.approx(
+            0.934, abs=0.005
+        )
+
+    def test_final_yield_close_to_foundry_model(self, ramp):
+        """E7 headline: ramp ends 'very close to' the foundry model."""
+        final = ramp.expected_yield[-1]
+        assert ramp.foundry_model_yield - final < 0.01
+
+    def test_ramp_is_monotone_nondecreasing(self, ramp):
+        expected = ramp.expected_yield
+        assert all(b >= a - 1e-9 for a, b in zip(expected, expected[1:]))
+
+    def test_all_four_measures_fire(self, ramp):
+        assert len(ramp.events) == 4
+
+    def test_weak_buffer_fix_worth_about_5_points(self, ramp):
+        months = dict(zip(ramp.months, ramp.expected_yield))
+        jump = months[6] - months[5]
+        assert 0.03 < jump < 0.06
+
+    def test_sampled_tracks_expected(self, ramp):
+        for expected, sampled in zip(ramp.expected_yield,
+                                     ramp.sampled_yield):
+            assert abs(expected - sampled) < 0.035
+
+    def test_report_format(self, ramp):
+        text = ramp.format_report()
+        assert "foundry model: 93.4%" in text
+
+
+class TestMigration:
+    def test_cost_saving_near_20_percent(self):
+        """E9 headline: 0.18 um migration saves ~20% die cost."""
+        report = migrate_dsc()
+        assert report.cost_saving_fraction == pytest.approx(0.20, abs=0.03)
+
+    def test_migrated_die_smaller_but_not_full_shrink(self):
+        report = migrate_dsc()
+        full_shrink = (0.18 / 0.25) ** 2
+        ratio = report.target.die_area_mm2 / report.source.die_area_mm2
+        assert full_shrink < ratio < 1.0
+
+    def test_cost_report_format(self):
+        report = die_cost(NODE_025, 72.0)
+        assert "cost/die" in report.format_report()
+        assert die_cost(NODE_018, 44.0).cost_per_good_die_usd > 0
+
+
+class TestProduction:
+    def test_paper_totals(self):
+        """E11: >3M units in 18 months, ~8% market share."""
+        result = simulate_production(seed=2)
+        assert result.total_units > 3_000_000
+        assert 0.06 <= result.mean_market_share <= 0.10
+
+    def test_production_follows_yield_ramp(self):
+        result = simulate_production(seed=3)
+        assert result.yields[0] < result.yields[-1]
+
+    def test_custom_plan(self):
+        plan = ProductionPlan.ramped(6, peak=100)
+        result = simulate_production(months=6, plan=plan, seed=4)
+        assert len(result.months) == 6
+        assert result.total_units < 1_000_000
+
+    def test_market_grows(self):
+        market = MarketModel()
+        assert market.units_in_month(12) > market.units_in_month(0)
+
+    def test_report_format(self):
+        result = simulate_production(months=3, seed=5)
+        assert "Mass production" in result.format_report()

@@ -1,0 +1,233 @@
+"""Tests for memory fault models, March tests and BIST planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import make_default_library
+from repro.mbist import (
+    AddressDecoderFault,
+    BistGenerator,
+    CouplingFaultIdempotent,
+    CouplingFaultInversion,
+    MARCH_B,
+    MARCH_C_MINUS,
+    MARCH_Y,
+    MATS_PLUS,
+    MemoryMacro,
+    SramModel,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+    dsc_memory_set,
+    measure_coverage,
+    run_march,
+)
+
+
+class TestSramModel:
+    def test_read_write_roundtrip(self):
+        memory = SramModel(words=16, bits=8)
+        memory.write(3, 0xA5)
+        assert memory.read(3) == 0xA5
+        assert memory.read(4) == 0
+
+    def test_width_masking(self):
+        memory = SramModel(words=8, bits=4)
+        memory.write(0, 0xFF)
+        assert memory.read(0) == 0xF
+
+    def test_out_of_range_rejected(self):
+        memory = SramModel(words=8, bits=8)
+        with pytest.raises(IndexError):
+            memory.write(8, 0)
+        with pytest.raises(IndexError):
+            memory.read(-1)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SramModel(words=1, bits=8)
+
+    def test_fault_out_of_range_rejected(self):
+        memory = SramModel(words=8, bits=8)
+        with pytest.raises(ValueError):
+            memory.inject(StuckAtFault(20, 0, 1))
+
+
+class TestFaultBehaviour:
+    def test_stuck_at_reads_forced(self):
+        memory = SramModel(16, 8)
+        memory.inject(StuckAtFault(5, 0, 1))
+        memory.write(5, 0x00)
+        assert memory.read(5) & 1 == 1
+
+    def test_transition_fault_blocks_rise(self):
+        memory = SramModel(16, 8)
+        memory.inject(TransitionFault(2, 3, rising=True))
+        memory.write(2, 0x00)
+        memory.write(2, 0x08)  # try to raise bit 3
+        assert memory.read(2) & 0x08 == 0
+        # Falling works fine.
+        memory.poke(2, 0x08)
+        memory.write(2, 0x00)
+        assert memory.read(2) == 0
+
+    def test_coupling_idempotent_forces_victim(self):
+        memory = SramModel(16, 8)
+        memory.inject(CouplingFaultIdempotent(1, 0, 9, 2, True, 1))
+        memory.write(9, 0x00)
+        memory.write(1, 0x00)
+        memory.write(1, 0x01)  # rising aggressor
+        assert memory.read(9) & 0x04 == 0x04
+
+    def test_coupling_inversion_flips_victim(self):
+        memory = SramModel(16, 8)
+        memory.inject(CouplingFaultInversion(1, 0, 9, 2, True))
+        memory.poke(9, 0x04)
+        memory.write(1, 0x00)
+        memory.write(1, 0x01)
+        assert memory.read(9) & 0x04 == 0
+
+    def test_address_decoder_aliases(self):
+        memory = SramModel(16, 8)
+        memory.inject(AddressDecoderFault(ghost_address=7, real_address=3))
+        memory.write(7, 0x55)
+        assert memory.read(3) == 0x55
+        assert memory.read(7) == 0x55
+
+    def test_stuck_open_returns_stale(self):
+        memory = SramModel(16, 1)
+        memory.inject(StuckOpenFault(4, 0))
+        memory.write(4, 1)
+        memory.write(3, 0)
+        memory.read(3)  # sense amp now holds 0
+        assert memory.read(4) == 0  # stale, despite stored 1
+
+
+class TestMarchExecution:
+    def test_fault_free_memory_passes_all(self):
+        from repro.mbist import STANDARD_TESTS
+
+        for test in STANDARD_TESTS:
+            memory = SramModel(32, 8)
+            result = run_march(memory, test)
+            assert result.passed, test.name
+
+    def test_march_c_complexity_is_10n(self):
+        assert MARCH_C_MINUS.operations_per_word == 10
+        assert MARCH_C_MINUS.test_cycles(64) == 640
+
+    def test_mats_plus_complexity_is_5n(self):
+        assert MATS_PLUS.operations_per_word == 5
+
+    def test_march_detects_stuck_at(self):
+        memory = SramModel(32, 8)
+        memory.inject(StuckAtFault(10, 4, 1))
+        result = run_march(memory, MATS_PLUS)
+        assert not result.passed
+        assert result.first_failure is not None
+
+    def test_march_c_detects_coupling(self):
+        memory = SramModel(32, 8)
+        memory.inject(CouplingFaultIdempotent(20, 1, 4, 1, True, 1))
+        assert not run_march(memory, MARCH_C_MINUS).passed
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            test.name: measure_coverage(
+                test, words=32, bits=4, trials_per_family=60, seed=5
+            )
+            for test in (MATS_PLUS, MARCH_Y, MARCH_C_MINUS, MARCH_B)
+        }
+
+    def test_all_tests_catch_all_stuck_at(self, reports):
+        for report in reports.values():
+            assert report.coverage["SAF"] == 1.0
+
+    def test_march_c_catches_transition_and_coupling(self, reports):
+        report = reports["March C-"]
+        assert report.coverage["TF"] == 1.0
+        assert report.coverage["CFid"] >= 0.95
+        assert report.coverage["CFin"] >= 0.95
+        assert report.coverage["AF"] == 1.0
+
+    def test_mats_plus_weaker_than_march_c(self, reports):
+        assert reports["MATS+"].overall < reports["March C-"].overall
+
+    def test_sof_needs_read_after_write(self, reports):
+        """March Y (r0,w1,r1) catches stuck-open; March C- mostly
+        cannot -- the classic textbook distinction."""
+        assert reports["March Y"].coverage["SOF"] >= 0.9
+        assert reports["March C-"].coverage["SOF"] <= 0.5
+
+    def test_report_format(self, reports):
+        text = reports["March C-"].format_report()
+        assert "SAF" in text and "%" in text
+
+
+class TestBistPlanning:
+    @pytest.fixture(scope="class")
+    def lib(self):
+        return make_default_library(0.25)
+
+    def test_dsc_memory_set_has_30_macros(self):
+        memories = dsc_memory_set()
+        assert len(memories) == 30
+        assert len({m.name for m in memories}) == 30
+
+    def test_shared_plan_matches_paper_architecture(self, lib):
+        """E3: one controller, multiple sequencers, 30 pattern gens."""
+        generator = BistGenerator(lib)
+        plan = generator.plan(dsc_memory_set(), sharing="shared")
+        assert plan.controllers == 1
+        assert 1 < plan.sequencers < 30
+        assert plan.pattern_generators == 30
+
+    def test_shared_saves_area_costs_time(self, lib):
+        generator = BistGenerator(lib)
+        memories = dsc_memory_set()
+        shared = generator.plan(memories, sharing="shared",
+                                max_parallel_groups=4)
+        dedicated = generator.plan(memories, sharing="per-memory")
+        assert shared.total_area_um2 < dedicated.total_area_um2
+        assert shared.test_cycles >= dedicated.test_cycles
+
+    def test_area_overhead_is_small_fraction(self, lib):
+        generator = BistGenerator(lib)
+        plan = generator.plan(dsc_memory_set(), sharing="shared")
+        assert plan.area_overhead_fraction < 0.15
+
+    def test_empty_memory_list_rejected(self, lib):
+        with pytest.raises(ValueError):
+            BistGenerator(lib).plan([])
+
+    def test_macro_properties(self):
+        macro = MemoryMacro("m", words=2048, bits=16)
+        assert macro.address_bits == 11
+        assert macro.capacity_bits == 32768
+
+    def test_plan_report_format(self, lib):
+        plan = BistGenerator(lib).plan(dsc_memory_set())
+        text = plan.format_report()
+        assert "pattern generators : 30" in text
+        assert "controllers        : 1" in text
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    words=st.integers(min_value=4, max_value=64),
+    bits=st.integers(min_value=1, max_value=16),
+    address=st.integers(min_value=0, max_value=63),
+    bit=st.integers(min_value=0, max_value=15),
+    stuck=st.integers(min_value=0, max_value=1),
+)
+def test_march_c_always_detects_saf(words, bits, address, bit, stuck):
+    """Property: March C- detects every single stuck-at fault."""
+    address %= words
+    bit %= bits
+    memory = SramModel(words, bits)
+    memory.inject(StuckAtFault(address, bit, stuck))
+    assert not run_march(memory, MARCH_C_MINUS).passed

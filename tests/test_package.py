@@ -1,0 +1,171 @@
+"""Tests for the BGA package model and pin-assignment optimisation."""
+
+import math
+
+import pytest
+
+from repro.package import (
+    BgaPackage,
+    DiePadRing,
+    PinAssignment,
+    angular_assignment,
+    assignment_quality,
+    count_crossings,
+    dsc_pad_ring,
+    estimate_layers,
+    layers_by_coloring,
+    optimize_assignment,
+    scrambled_assignment,
+    substrate_cost_usd,
+    tfbga256,
+)
+
+
+class TestBgaPackage:
+    def test_tfbga256_geometry(self):
+        pkg = tfbga256()
+        assert len(pkg) == 256
+        assert pkg.name == "TFBGA256"
+        # Corner ball is at maximum radius.
+        corner = pkg.ball("A1")
+        assert corner.radius_mm == pytest.approx(
+            math.hypot(7.5 * 0.8, 7.5 * 0.8)
+        )
+
+    def test_jedec_row_letters_skip_ambiguous(self):
+        pkg = tfbga256()
+        assert "I1" not in pkg.balls
+        assert "O1" not in pkg.balls
+        assert "J1" in pkg.balls
+
+    def test_center_balls_for_power(self):
+        pkg = tfbga256()
+        power = pkg.center_balls(ring=2)
+        assert len(power) == 16  # 4x4 centre block (|offset| <= 2)
+        assert all(pkg.ball(b).radius_mm < 3.0 for b in power)
+
+    def test_signal_balls_exclude_power(self):
+        pkg = tfbga256()
+        signals = pkg.signal_balls(power_ring=2)
+        assert len(signals) == 256 - 16
+        assert set(signals).isdisjoint(pkg.center_balls(2))
+
+    def test_unknown_ball_rejected(self):
+        with pytest.raises(KeyError):
+            tfbga256().ball("Z99")
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            BgaPackage("huge", rows=25, cols=25, pitch_mm=0.5)
+
+
+class TestPadRing:
+    def test_dsc_ring_size(self):
+        ring = dsc_pad_ring()
+        assert len(ring) == 168
+        assert len(set(ring.signals)) == 168
+
+    def test_angles_monotone(self):
+        ring = DiePadRing(["a", "b", "c", "d"])
+        angles = ring.angles()
+        assert angles["a"] == 0.0
+        assert angles["c"] == pytest.approx(math.pi)
+
+    def test_duplicate_signals_rejected(self):
+        with pytest.raises(ValueError):
+            DiePadRing(["x", "x"])
+
+
+class TestAssignments:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return tfbga256(), dsc_pad_ring()
+
+    def test_scrambled_assignment_complete(self, setup):
+        pkg, ring = setup
+        assignment = scrambled_assignment(pkg, ring, seed=1)
+        assert len(assignment.mapping) == len(ring)
+        assert len(set(assignment.mapping.values())) == len(ring)
+
+    def test_shared_ball_rejected(self, setup):
+        pkg, ring = setup
+        with pytest.raises(ValueError, match="share"):
+            PinAssignment(pkg, ring,
+                          {ring.signals[0]: "A1", ring.signals[1]: "A1"})
+
+    def test_unknown_signal_rejected(self, setup):
+        pkg, ring = setup
+        with pytest.raises(ValueError, match="unknown signal"):
+            PinAssignment(pkg, ring, {"bogus": "A1"})
+
+    def test_angular_assignment_nearly_planar(self, setup):
+        pkg, ring = setup
+        assignment = angular_assignment(pkg, ring)
+        crossings, _ = count_crossings(assignment)
+        assert crossings < 50
+        assert estimate_layers(assignment) <= 2
+
+    def test_scrambled_needs_many_layers(self, setup):
+        """The paper's starting point: early pin assignments needed a
+        four-layer substrate."""
+        pkg, ring = setup
+        assignment = scrambled_assignment(pkg, ring, seed=1)
+        assert estimate_layers(assignment) >= 4
+
+    def test_coloring_bound_at_least_congestion(self, setup):
+        pkg, ring = setup
+        assignment = angular_assignment(pkg, ring)
+        assert layers_by_coloring(assignment) >= 1
+
+
+class TestOptimization:
+    def test_reaches_two_layers(self):
+        """E6: optimisation reduces the substrate from 4 to 2 layers."""
+        pkg, ring = tfbga256(), dsc_pad_ring()
+        start = scrambled_assignment(pkg, ring, seed=1)
+        assert estimate_layers(start) >= 4
+        optimized, report = optimize_assignment(
+            start, iterations=3000, seed=1, initial_temperature=0.3
+        )
+        assert estimate_layers(optimized) <= 2
+        assert report.final.crossings < report.initial.crossings
+        assert report.layer_reduction >= 2
+
+    def test_locked_signals_stay_put(self):
+        pkg, ring = tfbga256(), dsc_pad_ring()
+        start = scrambled_assignment(pkg, ring, seed=2)
+        locked = frozenset(s for s in ring.signals if s.startswith("tv_dac"))
+        optimized, _ = optimize_assignment(
+            start, iterations=1500, seed=2, locked_signals=locked
+        )
+        for signal in locked:
+            assert optimized.mapping[signal] == start.mapping[signal]
+
+    def test_crossings_objective_also_improves(self):
+        pkg, ring = tfbga256(), dsc_pad_ring()
+        start = scrambled_assignment(pkg, ring, seed=3)
+        _, report = optimize_assignment(
+            start, iterations=800, seed=3, objective="crossings"
+        )
+        assert report.final.crossings <= report.initial.crossings
+
+    def test_unknown_objective_rejected(self):
+        pkg, ring = tfbga256(), dsc_pad_ring()
+        start = scrambled_assignment(pkg, ring, seed=4)
+        with pytest.raises(ValueError, match="objective"):
+            optimize_assignment(start, objective="vibes")
+
+    def test_report_format(self):
+        pkg, ring = tfbga256(), dsc_pad_ring()
+        start = scrambled_assignment(pkg, ring, seed=5)
+        _, report = optimize_assignment(start, iterations=200, seed=5)
+        assert "layers" in report.format_report()
+
+
+class TestSubstrateCost:
+    def test_two_layers_cheaper_than_four(self):
+        assert substrate_cost_usd(2) < substrate_cost_usd(4)
+
+    def test_bad_layer_count_rejected(self):
+        with pytest.raises(ValueError):
+            substrate_cost_usd(0)

@@ -1,0 +1,79 @@
+"""Tests for the failure-Pareto yield-killer discovery."""
+
+import numpy as np
+import pytest
+
+from repro.manufacturing import (
+    DSC_DIE_AREA_MM2,
+    classify_failures,
+    initial_ramp_state,
+    is_systematic_suspect,
+)
+
+
+@pytest.fixture(scope="module")
+def pareto():
+    state = initial_ramp_state()
+    rng = np.random.default_rng(42)
+    return classify_failures(
+        state.stack,
+        die_area_mm2=DSC_DIE_AREA_MM2,
+        n_dies=60_000,
+        probe_overkill=state.probe.total_overkill(),
+        rng=rng,
+    )
+
+
+class TestParetoDiscovery:
+    def test_weak_buffer_bin_stands_out(self, pareto):
+        """The paper's discovery: ~5% of all dies die in one bin."""
+        bin_item = pareto.bin_named("weak_output_buffer")
+        assert bin_item is not None
+        assert bin_item.fraction_of_all_dies == pytest.approx(0.047,
+                                                              abs=0.01)
+        assert is_systematic_suspect(pareto, "weak_output_buffer")
+
+    def test_failure_accounting_consistent(self, pareto):
+        assert sum(b.count for b in pareto.bins) == pareto.dies_failing
+        assert 0 < pareto.dies_failing < pareto.dies_tested
+        fractions = [b.fraction_of_failures for b in pareto.bins]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_bins_ranked_descending(self, pareto):
+        counts = [b.count for b in pareto.bins]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_total_fallout_matches_yield_model(self, pareto):
+        state = initial_ramp_state()
+        expected_fallout = 1.0 - state.measured_yield(DSC_DIE_AREA_MM2)
+        measured_fallout = pareto.dies_failing / pareto.dies_tested
+        # The MC parametric sampler is slightly more pessimistic than
+        # the closed form (documented deviation), hence the tolerance.
+        assert measured_fallout == pytest.approx(expected_fallout,
+                                                 abs=0.03)
+
+    def test_random_defects_not_flagged_systematic(self, pareto):
+        # Functional defects are a bigger bin but they are the
+        # *expected* background; the trigger targets named mechanisms.
+        assert pareto.bin_named("functional (defect)") is not None
+
+    def test_fixed_buffer_leaves_pareto(self):
+        from dataclasses import replace
+
+        state = initial_ramp_state()
+        fixed = replace(
+            state.stack,
+            systematics=tuple(
+                replace(s, active=False) for s in state.stack.systematics
+            ),
+        )
+        rng = np.random.default_rng(7)
+        pareto = classify_failures(
+            fixed, die_area_mm2=DSC_DIE_AREA_MM2, n_dies=30_000, rng=rng
+        )
+        assert pareto.bin_named("weak_output_buffer") is None
+
+    def test_report_format(self, pareto):
+        text = pareto.format_report()
+        assert "Failure Pareto" in text
+        assert "weak_output_buffer" in text

@@ -1,0 +1,83 @@
+"""Tests for the playback (LCD/TV review) path."""
+
+import numpy as np
+import pytest
+
+from repro.dsc import (
+    LCD_15IN,
+    SENSOR_2MP,
+    TV_NTSC,
+    TV_PAL,
+    downscale_nearest,
+    play_back,
+    simulate_shot,
+)
+from repro.jpeg import JpegError
+
+
+@pytest.fixture(scope="module")
+def shot():
+    return simulate_shot(sensor=SENSOR_2MP, quality=80, seed=8)
+
+
+class TestDownscale:
+    def test_shape(self):
+        image = np.arange(100 * 80 * 3).reshape(100, 80, 3)
+        small = downscale_nearest(image, 40, 25)
+        assert small.shape == (25, 40, 3)
+
+    def test_identity_scale(self):
+        image = np.random.default_rng(1).integers(
+            0, 255, size=(16, 16)
+        )
+        assert np.array_equal(downscale_nearest(image, 16, 16), image)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            downscale_nearest(np.zeros((8, 8)), 0, 8)
+
+    def test_preserves_value_range(self):
+        image = np.random.default_rng(2).integers(
+            0, 255, size=(64, 64, 3)
+        )
+        small = downscale_nearest(image, 13, 9)
+        assert small.min() >= image.min()
+        assert small.max() <= image.max()
+
+
+class TestPlayback:
+    def test_lcd_review(self, shot):
+        result = play_back(
+            shot.jpeg_stream, display=LCD_15IN,
+            source_width=shot.sensor.width,
+            source_height=shot.sensor.height,
+        )
+        assert result.frame.shape[:2] == (LCD_15IN.height, LCD_15IN.width)
+        assert result.meets_refresh
+        assert "LCD" in result.format_report()
+
+    def test_tv_outputs(self, shot):
+        for mode in (TV_NTSC, TV_PAL):
+            result = play_back(
+                shot.jpeg_stream, display=mode,
+                source_width=shot.sensor.width,
+                source_height=shot.sensor.height,
+            )
+            assert result.frame.shape[:2] == (mode.height, mode.width)
+            assert result.meets_refresh
+            assert mode.interlaced
+
+    def test_decode_time_scales_with_source(self, shot):
+        small = play_back(shot.jpeg_stream, source_width=800,
+                          source_height=600)
+        large = play_back(shot.jpeg_stream, source_width=2048,
+                          source_height=1536)
+        assert large.decode_seconds > small.decode_seconds
+
+    def test_garbage_stream_rejected(self):
+        with pytest.raises(JpegError):
+            play_back(b"junk junk junk")
+
+    def test_display_budgets(self):
+        assert LCD_15IN.frame_budget_s == pytest.approx(1 / 60)
+        assert TV_PAL.frame_budget_s == pytest.approx(0.04)

@@ -1,0 +1,127 @@
+"""Correctness tests for the PODEM deterministic test generator.
+
+The gold standard is exhaustive enumeration over all primary-input
+assignments: PODEM must say "detected" exactly when some assignment
+detects the fault, and any pattern it emits must actually detect it.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import Module, make_default_library
+from repro.netlist.generators import random_combinational_cloud
+from repro.dft import CombinationalView, Fault, enumerate_faults
+from repro.dft.podem import Podem
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+def exhaustive_detectable(view, fault, n_inputs=None):
+    inputs = view.pseudo_inputs
+    for bits in itertools.product([0, 1], repeat=len(inputs)):
+        pattern = dict(zip(inputs, bits))
+        good = view.evaluate(pattern, 1)
+        if view.detect_mask(fault, good, 1):
+            return True
+    return False
+
+
+class TestPodemBasics:
+    def test_single_gate_all_faults(self, lib):
+        m = Module("t", lib)
+        for p in ("a", "b"):
+            m.add_port(p, "input")
+        m.add_port("y", "output")
+        m.add_instance("u0", "NAND2_X1", {"A": "a", "B": "b", "Y": "y"})
+        view = CombinationalView(m)
+        engine = Podem(view)
+        for fault in enumerate_faults(m):
+            result = engine.generate(fault)
+            assert result.status == "detected"
+            pattern = {n: result.pattern.get(n, 0) for n in view.pseudo_inputs}
+            good = view.evaluate(pattern, 1)
+            assert view.detect_mask(fault, good, 1)
+
+    def test_redundant_fault_proven_untestable(self, lib):
+        # y = (a & b) | (a & ~b) == a; the b-path faults are redundant.
+        m = Module("red", lib)
+        for p in ("a", "b"):
+            m.add_port(p, "input")
+        m.add_port("y", "output")
+        m.add_instance("u_nb", "INV_X1", {"A": "b", "Y": "nb"})
+        m.add_instance("u_t1", "AND2_X1", {"A": "a", "B": "b", "Y": "t1"})
+        m.add_instance("u_t2", "AND2_X1", {"A": "a", "B": "nb", "Y": "t2"})
+        m.add_instance("u_or", "OR2_X1", {"A": "t1", "B": "t2", "Y": "y"})
+        view = CombinationalView(m)
+        engine = Podem(view, backtrack_limit=1000)
+        # t1/SA0 with b=0 is indistinguishable: y is a regardless of b
+        # only when a=1... t1 SA0 requires a=1,b=1 giving y=1 both ways
+        # through t2? No: with b=1, t2=0, so t1 SA0 -> y flips. Use the
+        # genuinely redundant one instead: none here -- check engine
+        # matches exhaustive truth for every fault.
+        for fault in enumerate_faults(m):
+            result = engine.generate(fault)
+            truth = exhaustive_detectable(view, fault, 2)
+            assert (result.status == "detected") == truth, str(fault)
+
+    def test_known_redundant_structure(self, lib):
+        # y = a | (a & b): the AND gate is absorbed, its faults that
+        # try to raise t when a=0... a&b SA0 requires a=1,b=1, but then
+        # y=1 via the direct a path regardless -> undetectable.
+        m = Module("absorb", lib)
+        for p in ("a", "b"):
+            m.add_port(p, "input")
+        m.add_port("y", "output")
+        m.add_instance("u_and", "AND2_X1", {"A": "a", "B": "b", "Y": "t"})
+        m.add_instance("u_or", "OR2_X1", {"A": "a", "B": "t", "Y": "y"})
+        view = CombinationalView(m)
+        engine = Podem(view, backtrack_limit=1000)
+        result = engine.generate(Fault("u_and", "Y", 0))
+        assert result.status == "untestable"
+        assert not exhaustive_detectable(view, Fault("u_and", "Y", 0), 2)
+
+    def test_branch_fault_on_deep_path(self, lib):
+        # Chain of ANDs: branch SA1 deep inside needs all side = 1.
+        m = Module("chain", lib)
+        for index in range(4):
+            m.add_port(f"in{index}", "input")
+        m.add_port("y", "output")
+        m.add_instance("u0", "AND2_X1", {"A": "in0", "B": "in1", "Y": "n0"})
+        m.add_instance("u1", "AND2_X1", {"A": "n0", "B": "in2", "Y": "n1"})
+        m.add_instance("u2", "AND2_X1", {"A": "n1", "B": "in3", "Y": "y"})
+        view = CombinationalView(m)
+        engine = Podem(view)
+        result = engine.generate(Fault("u0", "A", 0))
+        assert result.status == "detected"
+        # The pattern necessarily sets every signal on the path to 1.
+        assert result.pattern.get("in0") == 1
+        assert result.pattern.get("in1") == 1
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n_gates=st.integers(min_value=5, max_value=30),
+)
+def test_podem_matches_exhaustive_on_random_clouds(seed, n_gates):
+    """Property: PODEM verdicts agree with exhaustive enumeration."""
+    lib = make_default_library(0.25)
+    m = random_combinational_cloud(
+        "c", lib, n_inputs=5, n_outputs=2, n_gates=n_gates, seed=seed
+    )
+    view = CombinationalView(m)
+    engine = Podem(view, backtrack_limit=5000)
+    faults = enumerate_faults(m)
+    for fault in faults[:: max(1, len(faults) // 12)]:
+        result = engine.generate(fault)
+        truth = exhaustive_detectable(view, fault, 5)
+        assert (result.status == "detected") == truth, str(fault)
+        if result.status == "detected":
+            pattern = {n: result.pattern.get(n, 0) for n in view.pseudo_inputs}
+            good = view.evaluate(pattern, 1)
+            assert view.detect_mask(fault, good, 1)

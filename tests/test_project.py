@@ -1,0 +1,100 @@
+"""Tests for the project/schedule simulator."""
+
+import pytest
+
+from repro.eco import ChangeKind
+from repro.project import (
+    ChangeEvent,
+    FlowTask,
+    n2g_task_network,
+    paper_change_stream,
+    simulate_project,
+)
+
+
+class TestTaskNetwork:
+    def test_network_is_acyclic_and_closed(self):
+        tasks = n2g_task_network()
+        names = {t.name for t in tasks}
+        for task in tasks:
+            for predecessor in task.predecessors:
+                assert predecessor in names
+        # Topological order exists (no cycles).
+        placed: set = set()
+        remaining = list(tasks)
+        for _ in range(len(tasks) + 1):
+            progress = [t for t in remaining
+                        if all(p in placed for p in t.predecessors)]
+            for task in progress:
+                placed.add(task.name)
+                remaining.remove(task)
+            if not remaining:
+                break
+        assert not remaining
+
+    def test_tapeout_is_terminal(self):
+        tasks = n2g_task_network()
+        tapeout = next(t for t in tasks if t.name == "tapeout_prep")
+        assert len(tapeout.predecessors) >= 3
+
+
+class TestChangeStream:
+    def test_paper_counts(self):
+        events = paper_change_stream(seed=1)
+        assert len(events) == 29
+        kinds = [e.kind for e in events]
+        assert kinds.count(ChangeKind.SPEC_CHANGE) == 3
+        assert kinds.count(ChangeKind.NETLIST_ECO) == 10
+        assert kinds.count(ChangeKind.TIMING_ECO) == 3
+        assert kinds.count(ChangeKind.PIN_ASSIGNMENT) == 13
+
+    def test_sorted_by_day(self):
+        events = paper_change_stream(seed=2)
+        days = [e.day for e in events]
+        assert days == sorted(days)
+
+    def test_spec_changes_come_early(self):
+        events = paper_change_stream(seed=3, project_days=90)
+        spec_days = [e.day for e in events
+                     if e.kind is ChangeKind.SPEC_CHANGE]
+        assert all(day < 45 for day in spec_days)
+
+
+class TestSimulation:
+    def test_paper_scenario(self):
+        """E11 schedule half: ~3 months with 6 engineers, 29 changes."""
+        result = simulate_project(engineers=6, seed=1)
+        assert 2.5 <= result.duration_months <= 4.5
+        assert result.changes_absorbed == 29
+        assert result.rework_effort_person_days > 0
+
+    def test_more_engineers_not_slower(self):
+        few = simulate_project(engineers=3, seed=2)
+        many = simulate_project(engineers=10, seed=2)
+        assert many.duration_days <= few.duration_days + 1e-9
+
+    def test_no_changes_is_faster(self):
+        churned = simulate_project(engineers=6, seed=3)
+        clean = simulate_project(engineers=6, changes=[], seed=3)
+        assert clean.duration_days < churned.duration_days
+        assert clean.rework_effort_person_days == 0
+
+    def test_zero_engineers_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_project(engineers=0)
+
+    def test_custom_change_storm_hurts(self):
+        storm = [
+            ChangeEvent(20.0 + i, ChangeKind.SPEC_CHANGE, f"storm{i}")
+            for i in range(10)
+        ]
+        calm = simulate_project(engineers=6, changes=[], seed=4)
+        stormy = simulate_project(engineers=6, changes=storm, seed=4)
+        assert stormy.duration_days > calm.duration_days
+        assert stormy.rework_fraction > 0.3
+
+    def test_report_format(self):
+        result = simulate_project(seed=5)
+        text = result.format_report()
+        assert "Netlist-to-GDSII" in text
+        assert "months" in text

@@ -1,0 +1,236 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin down the invariants the rest of the library leans on:
+bit-level codecs round-trip, netlist edits preserve structural
+consistency, optimisers never worsen their objective, and models
+respect their physical monotonicities.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netlist import (
+    Logic,
+    Module,
+    counter,
+    make_default_library,
+)
+from repro.netlist.generators import random_combinational_cloud
+from repro.jpeg import (
+    AC_LUMA,
+    BitReader,
+    BitWriter,
+    DC_LUMA,
+    amplitude_bits,
+    amplitude_decode,
+)
+from repro.mbist import MARCH_B, SramModel, random_fault, run_march
+from repro.mbist.memory import FAULT_FAMILIES
+from repro.soc import SystemBus, RegisterFile
+from repro.manufacturing import DefectModel
+
+LIB = make_default_library(0.25)
+
+
+class TestBitIoProperties:
+    @settings(max_examples=50)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+                  st.integers(min_value=1, max_value=16)),
+        min_size=1, max_size=40,
+    ))
+    def test_bitstream_roundtrip(self, fields):
+        writer = BitWriter()
+        clipped = [(bits & ((1 << length) - 1), length)
+                   for bits, length in fields]
+        for bits, length in clipped:
+            writer.write(bits, length)
+        reader = BitReader(writer.flush())
+        for bits, length in clipped:
+            assert reader.read(length) == bits
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=-32767, max_value=32767))
+    def test_amplitude_coding_roundtrip(self, value):
+        bits, size = amplitude_bits(value)
+        assert amplitude_decode(bits, size) == value
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=11),
+                    min_size=1, max_size=60))
+    def test_huffman_symbol_stream_roundtrip(self, symbols):
+        writer = BitWriter()
+        for symbol in symbols:
+            code, length = DC_LUMA.encode(symbol)
+            writer.write(code, length)
+        reader = BitReader(writer.flush())
+        for symbol in symbols:
+            assert reader.read_symbol(DC_LUMA) == symbol
+
+    def test_ac_table_covers_all_run_size_pairs(self):
+        # Every (run 0..15, size 1..10) plus EOB/ZRL must be encodable.
+        for run in range(16):
+            for size in range(1, 11):
+                AC_LUMA.encode((run << 4) | size)
+        AC_LUMA.encode(0x00)
+        AC_LUMA.encode(0xF0)
+
+
+class TestNetlistEditProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000),
+           victim_index=st.integers(min_value=0, max_value=30))
+    def test_remove_then_validate_consistency(self, seed, victim_index):
+        """Removing any instance leaves a structurally consistent
+        netlist (no dangling references)."""
+        module = random_combinational_cloud(
+            "c", LIB, n_inputs=4, n_outputs=2, n_gates=20, seed=seed
+        )
+        names = sorted(module.instances)
+        victim = names[victim_index % len(names)]
+        module.remove_instance(victim)
+        # Consistency: every load/driver reference points to a live
+        # instance and every connection's net exists.
+        for net in module.nets.values():
+            if net.driver is not None:
+                assert net.driver.instance in module.instances
+            for load in net.loads:
+                assert load.instance in module.instances
+        for inst in module.instances.values():
+            for net_name in inst.connections.values():
+                assert net_name in module.nets
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_copy_equals_original_signature(self, seed):
+        module = random_combinational_cloud(
+            "c", LIB, n_inputs=4, n_outputs=2, n_gates=15, seed=seed
+        )
+        assert module.copy().structural_signature() == \
+            module.structural_signature()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500),
+           drive=st.sampled_from(["NAND2_X2", "NAND2_X4"]))
+    def test_resize_preserves_topology(self, seed, drive):
+        module = random_combinational_cloud(
+            "c", LIB, n_inputs=4, n_outputs=2, n_gates=15, seed=seed
+        )
+        victims = [i.name for i in module.instances.values()
+                   if i.cell.footprint == "NAND2"]
+        before = len(module.topological_combinational_order())
+        for victim in victims:
+            module.swap_cell(victim, drive)
+        assert len(module.topological_combinational_order()) == before
+
+
+class TestMarchProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    @given(
+        kind=st.sampled_from(FAULT_FAMILIES),
+        words=st.integers(min_value=4, max_value=32),
+        bits=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_march_b_detects_every_family(self, kind, words, bits, seed):
+        """March B (17N) covers all six modelled fault families."""
+        rng = np.random.default_rng(seed)
+        memory = SramModel(words, bits)
+        memory.inject(random_fault(kind, words, bits, rng))
+        assert not run_march(memory, MARCH_B).passed
+
+    @settings(max_examples=15, deadline=None)
+    @given(words=st.integers(min_value=2, max_value=64),
+           bits=st.integers(min_value=1, max_value=16))
+    def test_fault_free_always_passes(self, words, bits):
+        memory = SramModel(words, bits)
+        assert run_march(memory, MARCH_B).passed
+
+
+class TestBusProperties:
+    @settings(max_examples=25)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=0xFFFF),
+                  st.integers(min_value=0, max_value=0xFFFFFFFF)),
+        min_size=1, max_size=30,
+    ))
+    def test_register_write_read_consistency(self, operations):
+        regs = RegisterFile({"r0": 0, "r1": 1, "r2": 2, "r3": 3})
+        bus = SystemBus()
+        bus.register_master("cpu")
+        bus.attach_slave("regs", 0x1000, 0x10, regs)
+        shadow = {}
+        for address, data in operations:
+            word = address % 4
+            bus.write("cpu", 0x1000 + 4 * word, data)
+            shadow[word] = data & 0xFFFFFFFF
+        for word, expected in shadow.items():
+            assert bus.read("cpu", 0x1000 + 4 * word).read_data == expected
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_decode_is_deterministic(self, address):
+        bus = SystemBus()
+        bus.attach_slave("a", 0x0, 0x1000, RegisterFile({"r": 0}))
+        bus.attach_slave("b", 0x1000, 0x1000, RegisterFile({"r": 0}))
+        first = bus.decode(address)
+        second = bus.decode(address)
+        assert (first is None) == (second is None)
+        if first is not None:
+            assert first.name == second.name
+            assert first.window.contains(address)
+
+
+class TestModelMonotonicity:
+    @settings(max_examples=30)
+    @given(
+        area_small=st.floats(min_value=5.0, max_value=200.0),
+        growth=st.floats(min_value=1.01, max_value=5.0),
+        d0=st.floats(min_value=0.05, max_value=1.5),
+    )
+    def test_defect_yield_monotone_in_area(self, area_small, growth, d0):
+        model = DefectModel(d0_per_cm2=d0)
+        assert model.yield_for_area(area_small * growth) <= \
+            model.yield_for_area(area_small)
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(min_value=1, max_value=10),
+           cycles=st.integers(min_value=1, max_value=20))
+    def test_counter_is_a_counter(self, width, cycles):
+        """The workhorse sequential generator really counts, for any
+        width and horizon."""
+        from repro.netlist import bits_to_int
+        from repro.sim import LogicSimulator
+
+        module = counter("cnt", LIB, width=width)
+        sim = LogicSimulator(module)
+        sim.set_inputs({"clk": 0, "rst_n": 0})
+        sim.evaluate()
+        sim.set_input("rst_n", 1)
+        for step in range(cycles):
+            sim.clock_edge("clk")
+        value = bits_to_int(sim.read_vector("count", width))
+        assert value == cycles % (1 << width)
+
+
+class TestVcdProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(cycles=st.integers(min_value=1, max_value=20),
+           width=st.integers(min_value=1, max_value=6))
+    def test_vcd_change_count_bounded(self, cycles, width):
+        from repro.sim import LogicSimulator, write_vcd
+
+        module = counter("cnt", LIB, width=width)
+        sim = LogicSimulator(module)
+        sim.set_inputs({"clk": 0, "rst_n": 0})
+        sim.evaluate()
+        sim.set_input("rst_n", 1)
+        trace = sim.run([{} for _ in range(cycles)],
+                        watch=[f"count{i}" for i in range(width)])
+        buffer = io.StringIO()
+        changes = write_vcd(trace, buffer)
+        assert 0 < changes <= cycles * width

@@ -1,0 +1,67 @@
+"""Tests for virtual prototyping."""
+
+import pytest
+
+from repro.netlist import make_default_library, pipeline_block
+from repro.sta import TimingConstraints
+from repro.physical import correlate_prototype, virtual_prototype
+
+
+@pytest.fixture(scope="module")
+def block():
+    lib = make_default_library(0.25)
+    return pipeline_block("blk", lib, stages=2, width=10,
+                          cloud_gates=50, seed=14)
+
+
+class TestVirtualPrototype:
+    def test_estimates_are_populated(self, block):
+        proto = virtual_prototype(
+            block, TimingConstraints(clock_period_ps=10_000)
+        )
+        assert proto.estimated_area_um2 > 0
+        assert proto.estimated_wirelength_um > 0
+        assert 0.0 <= proto.congestion_risk <= 1.0
+        assert "Virtual prototype" in proto.format_report()
+
+    def test_bigger_block_bigger_estimates(self):
+        lib = make_default_library(0.25)
+        small = pipeline_block("s", lib, stages=1, width=6,
+                               cloud_gates=20, seed=1)
+        large = pipeline_block("l", lib, stages=3, width=16,
+                               cloud_gates=80, seed=1)
+        constraints = TimingConstraints(clock_period_ps=10_000)
+        proto_small = virtual_prototype(small, constraints)
+        proto_large = virtual_prototype(large, constraints)
+        assert proto_large.estimated_area_um2 > proto_small.estimated_area_um2
+        assert (proto_large.estimated_wirelength_um
+                > proto_small.estimated_wirelength_um)
+
+    def test_prototype_is_fast_vs_placement(self, block):
+        """The whole point: prototyping must be orders of magnitude
+        cheaper than placing."""
+        import time
+
+        constraints = TimingConstraints(clock_period_ps=10_000)
+        start = time.perf_counter()
+        virtual_prototype(block, constraints)
+        proto_time = time.perf_counter() - start
+
+        from repro.physical import AnnealingPlacer
+
+        start = time.perf_counter()
+        AnnealingPlacer(block, seed=1).place(iterations=6000)
+        place_time = time.perf_counter() - start
+        assert proto_time < place_time / 5
+
+    def test_correlation_within_band(self, block):
+        """WLM predictions track placed reality within the classic
+        2x band, and the timing estimate is pessimistic-or-close."""
+        constraints = TimingConstraints(clock_period_ps=10_000)
+        proto, correlation = correlate_prototype(
+            block, constraints, iterations=6000, seed=14
+        )
+        assert correlation.wirelength_within_2x, \
+            correlation.format_report()
+        # The prototype should not be wildly optimistic on timing.
+        assert correlation.wns_error_ps < 2_000

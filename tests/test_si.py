@@ -1,0 +1,139 @@
+"""Tests for signal integrity: crosstalk, IR drop, EM."""
+
+import pytest
+
+from repro.netlist import make_default_library, pipeline_block
+from repro.physical import AnnealingPlacer, GlobalRouter
+from repro.sta import TimingConstraints
+from repro.si import (
+    CrosstalkAnalyzer,
+    PowerGridAnalyzer,
+    VDD,
+    electromigration_check,
+    fix_crosstalk_by_resizing,
+)
+
+
+@pytest.fixture(scope="module")
+def placed_block():
+    lib = make_default_library(0.25)
+    block = pipeline_block("blk", lib, stages=2, width=10,
+                           cloud_gates=50, seed=4)
+    placement, _ = AnnealingPlacer(block, seed=4).place(iterations=4000)
+    return block, placement
+
+
+class TestCrosstalk:
+    def test_coupling_pairs_found(self, placed_block):
+        block, placement = placed_block
+        router = GlobalRouter(block, placement, edge_capacity=4)
+        analyzer = CrosstalkAnalyzer(block, placement, router)
+        analyzer.route_and_trace()
+        pairs = analyzer.coupling_pairs(min_shared_edges=1)
+        assert pairs  # congested routing must share edges
+        assert all(p.shared_edges >= 1 for p in pairs)
+        assert all(p.coupling_cap_ff > 0 for p in pairs)
+
+    def test_analysis_produces_deltas(self, placed_block):
+        block, placement = placed_block
+        router = GlobalRouter(block, placement, edge_capacity=4)
+        analyzer = CrosstalkAnalyzer(block, placement, router)
+        report = analyzer.analyze(
+            TimingConstraints(clock_period_ps=20_000),
+            min_shared_edges=1,
+        )
+        assert report.victim_delta_ps
+        assert report.worst_delta_ps > 0
+        assert "Crosstalk" in report.format_report()
+
+    def test_resizing_reduces_delta(self, placed_block):
+        block, placement = placed_block
+        working = block.copy()
+        router = GlobalRouter(working, placement, edge_capacity=4)
+        analyzer = CrosstalkAnalyzer(working, placement, router)
+        constraints = TimingConstraints(clock_period_ps=20_000)
+        report = analyzer.analyze(constraints, min_shared_edges=1)
+        # Force some victims to be 'violating' for the fix path.
+        report.violating_victims = sorted(
+            report.victim_delta_ps,
+            key=lambda v: -report.victim_delta_ps[v],
+        )[:8]
+        fixed = fix_crosstalk_by_resizing(working, report)
+        assert fixed > 0
+        # Stronger drivers => smaller delta on the same coupling.
+        router2 = GlobalRouter(working, placement, edge_capacity=4)
+        analyzer2 = CrosstalkAnalyzer(working, placement, router2)
+        report2 = analyzer2.analyze(constraints, min_shared_edges=1)
+        for victim in report.violating_victims:
+            if victim in report2.victim_delta_ps:
+                assert (report2.victim_delta_ps[victim]
+                        <= report.victim_delta_ps[victim] + 1e-9)
+
+
+class TestIrDrop:
+    def test_static_solve_bounded_by_vdd(self, placed_block):
+        block, placement = placed_block
+        grid = PowerGridAnalyzer(block, placement, activity=0.3)
+        voltages = grid.solve_static()
+        assert voltages.max() <= VDD + 1e-6
+        assert voltages.min() > 0.8 * VDD  # sane grid
+
+    def test_center_droops_more_than_edge(self, placed_block):
+        block, placement = placed_block
+        grid = PowerGridAnalyzer(block, placement, activity=0.3)
+        voltages = grid.solve_static()
+        width, height = grid.width, grid.height
+        center = voltages[grid._node(width // 2, height // 2)]
+        corner = voltages[grid._node(0, 0)]
+        assert center <= corner + 1e-9
+
+    def test_higher_activity_more_drop(self, placed_block):
+        block, placement = placed_block
+        low = PowerGridAnalyzer(block, placement, activity=0.1).analyze()
+        high = PowerGridAnalyzer(block, placement, activity=0.9).analyze()
+        assert high.worst_static_drop_mv > low.worst_static_drop_mv
+
+    def test_decap_insertion_reduces_violations(self, placed_block):
+        block, placement = placed_block
+        grid = PowerGridAnalyzer(block, placement, activity=1.0)
+        before = grid.analyze(limit_mv=2.0)
+        inserted = grid.insert_decaps(limit_mv=2.0)
+        after = grid.analyze(limit_mv=2.0)
+        if before.violating_nodes > 0:
+            assert inserted > 0
+            assert after.violating_nodes <= before.violating_nodes
+        assert after.decaps_inserted == inserted
+
+    def test_bad_activity_rejected(self, placed_block):
+        block, placement = placed_block
+        with pytest.raises(ValueError):
+            PowerGridAnalyzer(block, placement, activity=0.0)
+
+    def test_report_format(self, placed_block):
+        block, placement = placed_block
+        report = PowerGridAnalyzer(block, placement).analyze()
+        assert "IR drop" in report.format_report()
+
+
+class TestElectromigration:
+    def test_heavy_fanout_net_flagged(self):
+        from repro.netlist import Module
+
+        lib = make_default_library(0.25)
+        m = Module("em", lib)
+        m.add_port("a", "input")
+        m.add_instance("drv", "BUF_X16", {"A": "a", "Y": "heavy"})
+        for index in range(64):
+            m.add_port(f"y{index}", "output")
+            m.add_instance(f"u{index}", "BUF_X4",
+                           {"A": "heavy", "Y": f"y{index}"})
+        offenders = electromigration_check(m, max_current_ma=0.05)
+        assert "heavy" in offenders
+
+    def test_light_nets_pass(self):
+        from repro.netlist import counter
+
+        lib = make_default_library(0.25)
+        m = counter("cnt", lib, width=4)
+        offenders = electromigration_check(m, max_current_ma=5.0)
+        assert offenders == []

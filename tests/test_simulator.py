@@ -1,0 +1,187 @@
+"""Tests for the four-value logic simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import Logic, Module, bits_to_int, counter, make_default_library
+from repro.netlist.generators import random_combinational_cloud
+from repro.sim import (
+    LogicSimulator,
+    VENDOR_A_SIM,
+    VENDOR_B_SIM,
+    diff_traces,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+class TestCombinational:
+    def test_half_adder(self, lib):
+        m = Module("ha", lib)
+        for p in ("a", "b"):
+            m.add_port(p, "input")
+        for p in ("sum", "carry"):
+            m.add_port(p, "output")
+        m.add_instance("u_sum", "XOR2_X1", {"A": "a", "B": "b", "Y": "sum"})
+        m.add_instance("u_carry", "AND2_X1", {"A": "a", "B": "b", "Y": "carry"})
+        sim = LogicSimulator(m)
+        for a in (0, 1):
+            for b in (0, 1):
+                sim.set_inputs({"a": a, "b": b})
+                sim.evaluate()
+                assert sim.read("sum") is Logic(a ^ b)
+                assert sim.read("carry") is Logic(a & b)
+
+    def test_unknown_inputs_propagate(self, lib):
+        m = Module("inv", lib)
+        m.add_port("a", "input")
+        m.add_port("y", "output")
+        m.add_instance("u0", "INV_X1", {"A": "a", "Y": "y"})
+        sim = LogicSimulator(m)
+        assert sim.read("y") is Logic.X  # input never driven
+        sim.set_input("a", Logic.ONE)
+        sim.evaluate()
+        assert sim.read("y") is Logic.ZERO
+
+    def test_set_unknown_port_raises(self, lib):
+        m = Module("inv", lib)
+        m.add_port("a", "input")
+        m.add_port("y", "output")
+        m.add_instance("u0", "INV_X1", {"A": "a", "Y": "y"})
+        sim = LogicSimulator(m)
+        with pytest.raises(KeyError):
+            sim.set_input("nope", 1)
+        with pytest.raises(KeyError):
+            sim.set_input("y", 1)  # outputs are not drivable
+
+
+class TestSequential:
+    def test_counter_counts(self, lib):
+        m = counter("cnt", lib, width=4)
+        sim = LogicSimulator(m)
+        sim.set_inputs({"clk": 0, "rst_n": 0})
+        sim.evaluate()  # async reset clears the flops
+        sim.set_input("rst_n", 1)
+        for expected in range(1, 9):
+            sim.clock_edge("clk")
+            value = bits_to_int(sim.read_vector("count", 4))
+            assert value == expected % 16
+
+    def test_counter_wraps(self, lib):
+        m = counter("cnt", lib, width=2)
+        sim = LogicSimulator(m)
+        sim.set_inputs({"clk": 0, "rst_n": 0})
+        sim.evaluate()
+        sim.set_input("rst_n", 1)
+        seen = []
+        for _ in range(6):
+            sim.clock_edge("clk")
+            seen.append(bits_to_int(sim.read_vector("count", 2)))
+        assert seen == [1, 2, 3, 0, 1, 2]
+
+    def test_reset_mid_run(self, lib):
+        m = counter("cnt", lib, width=4)
+        sim = LogicSimulator(m)
+        sim.set_inputs({"clk": 0, "rst_n": 0})
+        sim.evaluate()
+        sim.set_input("rst_n", 1)
+        for _ in range(5):
+            sim.clock_edge("clk")
+        sim.set_input("rst_n", 0)
+        sim.evaluate()
+        assert bits_to_int(sim.read_vector("count", 4)) == 0
+
+    def test_unreset_flop_is_x_in_4state(self, lib):
+        m = counter("cnt", lib, width=2)
+        sim = LogicSimulator(m, VENDOR_A_SIM)
+        assert sim.read("count0") is Logic.X
+
+    def test_unreset_flop_is_zero_in_2state(self, lib):
+        m = counter("cnt", lib, width=2)
+        sim = LogicSimulator(m, VENDOR_B_SIM)
+        sim.set_inputs({"clk": 0, "rst_n": 1})
+        sim.evaluate()
+        assert sim.read("count0") is Logic.ZERO
+
+
+class TestVendorDivergence:
+    """Reproduces the paper's cross-simulator sign-off mismatch in
+    miniature: without a proper reset the two dialects disagree; with a
+    reset they converge."""
+
+    def _run(self, lib, config, do_reset):
+        m = counter("cnt", lib, width=4)
+        sim = LogicSimulator(m, config)
+        stimulus = []
+        if do_reset:
+            stimulus.append({"clk": 0, "rst_n": 0})
+        stimulus += [{"clk": 0, "rst_n": 1}] * 8
+        return sim.run(stimulus, watch=[f"count{i}" for i in range(4)])
+
+    def test_mismatch_without_reset(self, lib):
+        trace_a = self._run(lib, VENDOR_A_SIM, do_reset=False)
+        trace_b = self._run(lib, VENDOR_B_SIM, do_reset=False)
+        assert len(diff_traces(trace_a, trace_b)) > 0
+
+    def test_match_with_reset(self, lib):
+        trace_a = self._run(lib, VENDOR_A_SIM, do_reset=True)
+        trace_b = self._run(lib, VENDOR_B_SIM, do_reset=True)
+        assert diff_traces(trace_a, trace_b) == []
+
+    def test_diff_requires_same_signals(self, lib):
+        trace_a = self._run(lib, VENDOR_A_SIM, do_reset=True)
+        m = counter("cnt", lib, width=2)
+        sim = LogicSimulator(m)
+        trace_b = sim.run([{"clk": 0, "rst_n": 1}],
+                          watch=["count0", "count1"])
+        with pytest.raises(ValueError):
+            diff_traces(trace_a, trace_b)
+
+
+class TestScanFlops:
+    def test_scan_enable_selects_si(self, lib):
+        m = Module("scan1", lib)
+        for p in ("clk", "d", "si", "se"):
+            m.add_port(p, "input")
+        m.add_port("q", "output")
+        m.add_instance(
+            "ff", "SDFF", {"D": "d", "SI": "si", "SE": "se", "CK": "clk", "Q": "qn"}
+        )
+        m.add_instance("buf", "BUF_X1", {"A": "qn", "Y": "q"})
+        sim = LogicSimulator(m)
+        sim.set_inputs({"clk": 0, "d": 0, "si": 1, "se": 1})
+        sim.clock_edge("clk")
+        assert sim.read("q") is Logic.ONE  # scan path captured SI
+        sim.set_inputs({"se": 0, "d": 0})
+        sim.clock_edge("clk")
+        assert sim.read("q") is Logic.ZERO  # functional path captured D
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_simulation_is_deterministic(seed):
+    """Property: same netlist + same stimulus = same trace."""
+    lib = make_default_library(0.25)
+    m = random_combinational_cloud(
+        "c", lib, n_inputs=5, n_outputs=3, n_gates=60, seed=seed
+    )
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    stim = [
+        {f"in{i}": int(rng.integers(0, 2)) for i in range(5)} for _ in range(4)
+    ]
+
+    def run():
+        sim = LogicSimulator(m)
+        outs = []
+        for vector in stim:
+            sim.set_inputs(vector)
+            sim.evaluate()
+            outs.append(tuple(sim.read_outputs().items()))
+        return outs
+
+    assert run() == run()

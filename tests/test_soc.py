@@ -1,0 +1,202 @@
+"""Tests for the transaction-level SoC integration substrate."""
+
+import pytest
+
+from repro.soc import (
+    AddressRange,
+    BusError,
+    CHIP_ID,
+    DmaController,
+    DmaDescriptor,
+    DscSoc,
+    Fifo,
+    MEMORY_MAP,
+    RegisterFile,
+    Response,
+    SdramModel,
+    SystemBus,
+    broken_soc_with_overlap,
+)
+
+
+class TestAddressDecoding:
+    def test_range_contains(self):
+        window = AddressRange(0x1000, 0x100)
+        assert window.contains(0x1000)
+        assert window.contains(0x10FF)
+        assert not window.contains(0x1100)
+
+    def test_overlap_detection(self):
+        a = AddressRange(0x1000, 0x100)
+        assert a.overlaps(AddressRange(0x1080, 0x100))
+        assert not a.overlaps(AddressRange(0x1100, 0x100))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(BusError):
+            AddressRange(0, 0)
+
+    def test_overlapping_slaves_rejected(self):
+        """The integration bug class the checker exists for."""
+        with pytest.raises(BusError, match="overlaps"):
+            broken_soc_with_overlap()
+
+    def test_unmapped_access_is_decode_error(self):
+        bus = SystemBus()
+        bus.register_master("cpu")
+        txn = bus.read("cpu", 0xDEAD_0000)
+        assert txn.response is Response.DECODE_ERROR
+
+    def test_unknown_master_rejected(self):
+        bus = SystemBus()
+        with pytest.raises(BusError, match="unknown master"):
+            bus.read("ghost", 0)
+
+
+class TestSdram:
+    def test_write_read_roundtrip(self):
+        sdram = SdramModel()
+        sdram.write(0x100, 0xCAFEBABE)
+        data, _ = sdram.read(0x100)
+        assert data == 0xCAFEBABE
+
+    def test_row_hit_is_faster(self):
+        sdram = SdramModel()
+        _, first = sdram.read(0x0)       # row miss
+        _, second = sdram.read(0x4)      # same row: hit
+        assert second < first
+
+    def test_sequential_access_high_hit_rate(self):
+        sdram = SdramModel()
+        for offset in range(0, 4096, 4):
+            sdram.read(offset)
+        assert sdram.hit_rate > 0.95
+
+    def test_random_bank_thrash_low_hit_rate(self):
+        sdram = SdramModel(banks=2, row_bytes=64)
+        # Ping-pong between two rows of the SAME bank.
+        for _ in range(100):
+            sdram.read(0)
+            sdram.read(128)  # row 2 -> bank 0 again
+        assert sdram.hit_rate < 0.05
+
+    def test_out_of_range_rejected(self):
+        sdram = SdramModel(size_bytes=1024)
+        with pytest.raises(BusError):
+            sdram.read(2048)
+
+
+class TestRegisterFileAndFifo:
+    def test_register_rw(self):
+        regs = RegisterFile({"ctrl": 0, "status": 1})
+        regs.write(0, 0x5)
+        assert regs.read(0) == (0x5, 0)
+        assert regs.value("ctrl") == 0x5
+        assert regs.write_log == [("ctrl", 0x5)]
+
+    def test_unknown_register_rejected(self):
+        regs = RegisterFile({"ctrl": 0})
+        with pytest.raises(BusError):
+            regs.read(0x40)
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(BusError):
+            RegisterFile({"a": 0, "b": 0})
+
+    def test_fifo_order_and_status(self):
+        fifo = Fifo(depth=4)
+        for value in (1, 2, 3):
+            fifo.write(0, value)
+        status, _ = fifo.read(4)
+        assert status & 1  # not empty
+        assert status >> 16 == 3
+        assert [fifo.read(0)[0] for _ in range(3)] == [1, 2, 3]
+
+    def test_fifo_overflow_underflow(self):
+        fifo = Fifo(depth=1)
+        fifo.write(0, 7)
+        with pytest.raises(BusError, match="overflow"):
+            fifo.write(0, 8)
+        fifo.read(0)
+        with pytest.raises(BusError, match="underflow"):
+            fifo.read(0)
+        assert fifo.overflows == 1 and fifo.underflows == 1
+
+
+class TestDma:
+    def test_dma_moves_data(self):
+        soc = DscSoc()
+        base = MEMORY_MAP["sdram"][0]
+        for index in range(8):
+            soc.bus.write("cpu", base + 4 * index, index + 100)
+        soc.dma.run(DmaDescriptor(source=base, destination=base + 0x100,
+                                  length_words=8))
+        for index in range(8):
+            txn = soc.bus.read("cpu", base + 0x100 + 4 * index)
+            assert txn.read_data == index + 100
+
+    def test_dma_into_unmapped_space_fails(self):
+        soc = DscSoc()
+        with pytest.raises(BusError, match="decode_error"):
+            soc.dma.run(DmaDescriptor(source=MEMORY_MAP["sdram"][0],
+                                      destination=0xDEAD_0000,
+                                      length_words=1))
+
+    def test_zero_length_rejected(self):
+        soc = DscSoc()
+        with pytest.raises(BusError):
+            soc.dma.run(DmaDescriptor(0, 0, 0))
+
+
+class TestDscSocIntegration:
+    def test_smoke_test_passes(self):
+        soc = DscSoc()
+        assert soc.smoke_test()
+        assert soc.bus.read("cpu",
+                            MEMORY_MAP["sys_regs"][0]).read_data == CHIP_ID
+
+    def test_memory_map_is_complete(self):
+        soc = DscSoc()
+        report = soc.bus.memory_map_report()
+        for name in MEMORY_MAP:
+            assert name in report
+
+    def test_capture_frame_end_to_end(self):
+        soc = DscSoc()
+        cycles = soc.capture_frame(frame_words=128)
+        assert cycles > 0
+        assert soc.jpeg.value("status") == 1
+        assert soc.jpeg.value("src_addr") == MEMORY_MAP["sdram"][0] + 0x1000
+        assert not soc.bus.error_transactions()
+        assert soc.sd_fifo.level == 0  # fully drained to the card
+
+    def test_sequential_dma_exploits_sdram_rows(self):
+        soc = DscSoc()
+        soc.capture_frame(frame_words=512)
+        assert soc.sdram.hit_rate > 0.8
+
+    def test_same_bank_buffers_thrash(self):
+        """The integration performance bug: put the JPEG output in the
+        same SDRAM bank as the frame and every DMA word row-misses."""
+        good = DscSoc()
+        good_cycles = good.capture_frame(frame_words=512,
+                                         jpeg_base=0x8400)  # bank+1
+        bad = DscSoc()
+        bad_cycles = bad.capture_frame(frame_words=512,
+                                       jpeg_base=0x8000)  # same bank
+        assert bad.sdram.hit_rate < good.sdram.hit_rate
+        assert bad_cycles > good_cycles
+
+    def test_bus_utilisation_accounted(self):
+        soc = DscSoc()
+        soc.capture_frame(frame_words=64)
+        usage = soc.bus.utilisation()
+        assert usage["cpu"] > 0
+        assert usage["dma"] > 0
+        assert sum(usage.values()) == soc.bus.cycle
+
+    def test_integration_report(self):
+        soc = DscSoc()
+        soc.smoke_test()
+        text = soc.integration_report()
+        assert "Memory map" in text
+        assert "error responses : 0" in text

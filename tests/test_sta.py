@@ -1,0 +1,194 @@
+"""Tests for the static timing analyzer."""
+
+import pytest
+
+from repro.netlist import Module, counter, make_default_library, pipeline_block
+from repro.sta import TimingAnalyzer, TimingConstraints
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+def inverter_chain(lib, length, name="chain"):
+    m = Module(name, lib)
+    m.add_port("a", "input")
+    m.add_port("y", "output")
+    previous = "a"
+    for index in range(length):
+        out = "y" if index == length - 1 else f"n{index}"
+        m.add_instance(f"u{index}", "INV_X1", {"A": previous, "Y": out})
+        previous = out
+    return m
+
+
+class TestDelayModel:
+    def test_chain_delay_scales_with_length(self, lib):
+        constraints = TimingConstraints(clock_period_ps=100_000)
+        short = TimingAnalyzer(inverter_chain(lib, 4), constraints)
+        long = TimingAnalyzer(inverter_chain(lib, 16), constraints)
+        a_short = short.compute_arrivals()["y"]
+        a_long = long.compute_arrivals()["y"]
+        assert a_long > a_short
+        assert a_long == pytest.approx(a_short * 16 / 4, rel=0.05)
+
+    def test_fanout_increases_delay(self, lib):
+        m = Module("fan", lib)
+        m.add_port("a", "input")
+        m.add_instance("drv", "INV_X1", {"A": "a", "Y": "n"})
+        for index in range(8):
+            m.add_port(f"y{index}", "output")
+            m.add_instance(f"u{index}", "INV_X1", {"A": "n", "Y": f"y{index}"})
+        m1 = Module("fan1", lib)
+        m1.add_port("a", "input")
+        m1.add_port("y0", "output")
+        m1.add_instance("drv", "INV_X1", {"A": "a", "Y": "n"})
+        m1.add_instance("u0", "INV_X1", {"A": "n", "Y": "y0"})
+        constraints = TimingConstraints(clock_period_ps=100_000)
+        heavy = TimingAnalyzer(m, constraints).compute_arrivals()["n"]
+        light = TimingAnalyzer(m1, constraints).compute_arrivals()["n"]
+        assert heavy > light
+
+    def test_stronger_drive_is_faster_under_load(self, lib):
+        # Resizing pays when the cells drive real wire load (this is
+        # exactly the paper's weak-output-buffer situation).
+        constraints = TimingConstraints(clock_period_ps=100_000)
+        wire = {f"n{i}": 80.0 for i in range(5)}
+        m = inverter_chain(lib, 6)
+        before = TimingAnalyzer(
+            m, constraints, net_wire_cap_ff=wire
+        ).compute_arrivals()["y"]
+        for index in range(6):
+            m.swap_cell(f"u{index}", "INV_X4")
+        after = TimingAnalyzer(
+            m, constraints, net_wire_cap_ff=wire
+        ).compute_arrivals()["y"]
+        assert after < before
+
+    def test_wire_cap_override(self, lib):
+        m = inverter_chain(lib, 2)
+        constraints = TimingConstraints(clock_period_ps=100_000)
+        base = TimingAnalyzer(m, constraints).compute_arrivals()["y"]
+        loaded = TimingAnalyzer(
+            m, constraints, net_wire_cap_ff={"n0": 500.0}
+        ).compute_arrivals()["y"]
+        assert loaded > base
+
+
+class TestSetupAnalysis:
+    def test_counter_meets_slow_clock(self, lib):
+        m = counter("cnt", lib, width=8)
+        report = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=50_000)
+        ).analyze()
+        assert report.setup_clean
+        assert report.violating_endpoints == 0
+
+    def test_counter_fails_impossible_clock(self, lib):
+        m = counter("cnt", lib, width=8)
+        report = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=300)
+        ).analyze()
+        assert not report.setup_clean
+        assert report.wns_ps < 0
+        assert report.tns_ps <= report.wns_ps
+        assert report.violating_endpoints > 0
+
+    def test_wns_is_worst_endpoint_slack(self, lib):
+        m = pipeline_block("p", lib, stages=2, width=8, cloud_gates=40, seed=2)
+        analyzer = TimingAnalyzer(m, TimingConstraints(clock_period_ps=2_000))
+        report = analyzer.analyze()
+        slacks = analyzer.endpoint_slacks()
+        assert report.wns_ps == pytest.approx(min(slacks.values()))
+
+    def test_max_frequency_consistent(self, lib):
+        m = counter("cnt", lib, width=12)
+        analyzer = TimingAnalyzer(m, TimingConstraints(clock_period_ps=10_000))
+        report = analyzer.analyze()
+        # Re-run at the reported max frequency: should be just clean.
+        period = 1e6 / report.max_frequency_mhz
+        report2 = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=period + 1.0)
+        ).analyze()
+        assert report2.wns_ps >= 0
+
+    def test_paper_clock_133mhz(self, lib):
+        """The hardened CPU ran at 133 MHz in 0.25 um; a modest
+        pipeline block must close timing at that clock."""
+        m = pipeline_block("cpu_slice", lib, stages=3, width=16,
+                           cloud_gates=60, seed=4)
+        period_ps = 1e6 / 133
+        report = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=period_ps)
+        ).analyze()
+        assert report.setup_clean
+
+
+class TestHoldAnalysis:
+    def test_direct_flop_to_flop_hold(self, lib):
+        # Q feeding D directly: min path is one clk->q delay, which is
+        # larger than the default 40 ps hold requirement.
+        m = Module("h", lib)
+        m.add_port("clk", "input")
+        m.add_port("d", "input")
+        m.add_port("q", "output")
+        m.add_instance("f0", "DFF", {"D": "d", "CK": "clk", "Q": "n"})
+        m.add_instance("f1", "DFF", {"D": "n", "CK": "clk", "Q": "qi"})
+        m.add_instance("ob", "BUF_X1", {"A": "qi", "Y": "q"})
+        report = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=10_000)
+        ).analyze()
+        assert report.hold_clean
+
+    def test_hold_violation_with_large_requirement(self, lib):
+        m = Module("h", lib)
+        m.add_port("clk", "input")
+        m.add_port("d", "input")
+        m.add_port("q", "output")
+        m.add_instance("f0", "DFF", {"D": "d", "CK": "clk", "Q": "n"})
+        m.add_instance("f1", "DFF", {"D": "n", "CK": "clk", "Q": "qi"})
+        m.add_instance("ob", "BUF_X1", {"A": "qi", "Y": "q"})
+        report = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=10_000, hold_ps=5_000)
+        ).analyze()
+        assert not report.hold_clean
+        assert report.hold_violating_endpoints >= 1
+
+
+class TestPathExtraction:
+    def test_critical_path_structure(self, lib):
+        m = inverter_chain(lib, 5)
+        m2 = m.copy()
+        analyzer = TimingAnalyzer(
+            m2, TimingConstraints(clock_period_ps=1_000)
+        )
+        report = analyzer.analyze()
+        path = report.critical_path
+        assert path is not None
+        assert path.endpoint == "y"
+        assert [p.instance for p in path.points] == [
+            "u0", "u1", "u2", "u3", "u4"
+        ]
+        assert "slack" in path.format_report()
+
+    def test_path_arrival_matches_report(self, lib):
+        m = pipeline_block("p", lib, stages=2, width=6, cloud_gates=30, seed=8)
+        analyzer = TimingAnalyzer(m, TimingConstraints(clock_period_ps=1_500))
+        report = analyzer.analyze()
+        assert report.critical_path.slack_ps == pytest.approx(report.wns_ps)
+
+
+class TestConstraints:
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            TimingConstraints(clock_period_ps=0)
+
+    def test_report_format(self, lib):
+        m = counter("cnt", lib, width=4)
+        report = TimingAnalyzer(
+            m, TimingConstraints(clock_period_ps=7_500)
+        ).analyze()
+        text = report.format_report()
+        assert "STA QoR" in text
+        assert "MHz" in text
