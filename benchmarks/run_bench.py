@@ -1,0 +1,163 @@
+"""Kernel throughput benchmark driver.
+
+Measures the three ported hot loops -- fault simulation, wafer-yield
+Monte Carlo, and annealing placement -- on their benchmark-scale
+workloads (E4 netlist, E7 wafer stack, A5 placement block), comparing
+each scalar reference path against its vectorized engine, and writes
+the rates to ``BENCH_<date>.json`` next to this script:
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out FILE]
+
+The JSON records patterns/sec, wafers/sec, and moves/sec for both
+paths plus the speedup ratio, and a snapshot of the perf registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dft import (
+    CombinationalView,
+    collapse_faults,
+    enumerate_faults,
+    insert_scan,
+    random_pattern_fault_sim,
+)
+from repro.manufacturing import (
+    initial_ramp_state,
+    simulate_wafer,
+    simulate_wafer_scalar,
+)
+from repro.netlist import make_default_library, pipeline_block
+from repro.perf import REGISTRY, reset_metrics
+from repro.physical import AnnealingPlacer
+
+
+def bench_fault_sim(quick: bool) -> dict:
+    """E4-scale netlist; scalar big-int kernel vs word-array kernel."""
+    lib = make_default_library(0.25)
+    block = pipeline_block("dsc_rep", lib, stages=3, width=24,
+                           cloud_gates=120, seed=3)
+    scanned, _ = insert_scan(block, n_chains=2)
+    view = CombinationalView(scanned)
+    faults = collapse_faults(scanned, enumerate_faults(scanned))
+    max_patterns = 1024 if quick else 4096
+
+    out = {"netlist": "E4 pipeline_block", "faults": len(faults),
+           "max_patterns": max_patterns}
+    for label, kwargs in [
+        ("scalar_bigint_batch64", dict(kernel="bigint", batch_size=64)),
+        ("words_batch4096", dict(kernel="words", batch_size=4096)),
+    ]:
+        start = time.perf_counter()
+        result = random_pattern_fault_sim(
+            view, faults, rng=np.random.default_rng(7),
+            max_patterns=max_patterns, **kwargs)
+        elapsed = time.perf_counter() - start
+        out[label] = {
+            "patterns_per_s": result.patterns_applied / elapsed,
+            "seconds": elapsed,
+            "coverage": len(result.detected) / len(faults),
+        }
+    out["speedup"] = (out["words_batch4096"]["patterns_per_s"]
+                      / out["scalar_bigint_batch64"]["patterns_per_s"])
+    return out
+
+
+def bench_wafer(quick: bool) -> dict:
+    """E7-scale yield stack; scalar per-die loop vs vectorized wafer."""
+    stack = initial_ramp_state().stack
+    wafers = 40 if quick else 200
+    kw = dict(die_width_mm=8.5, die_height_mm=8.5)
+
+    out = {"stack": "E7 initial ramp", "wafers": wafers}
+    for label, fn in [("scalar", simulate_wafer_scalar),
+                      ("vectorized", simulate_wafer)]:
+        rng = np.random.default_rng(0)
+        start = time.perf_counter()
+        for _ in range(wafers):
+            fn(stack, rng=rng, **kw)
+        elapsed = time.perf_counter() - start
+        out[label] = {"wafers_per_s": wafers / elapsed,
+                      "seconds": elapsed}
+    out["speedup"] = (out["vectorized"]["wafers_per_s"]
+                      / out["scalar"]["wafers_per_s"])
+    return out
+
+
+def bench_placement(quick: bool) -> dict:
+    """A5-scale block; reference anneal vs incremental-HPWL engine."""
+    lib = make_default_library(0.25)
+    block = pipeline_block("blk", lib, stages=3, width=16,
+                           cloud_gates=300, seed=5)
+    iterations = 5000 if quick else 20000
+
+    out = {"block_cells": len(block.instances), "iterations": iterations}
+    for label, engine in [("reference", "reference"), ("fast", "fast")]:
+        placer = AnnealingPlacer(block, seed=9)
+        start = time.perf_counter()
+        _, report = placer.place(iterations=iterations, engine=engine)
+        elapsed = time.perf_counter() - start
+        out[label] = {"moves_per_s": iterations / elapsed,
+                      "seconds": elapsed,
+                      "hpwl_final_um": report.hpwl_final_um}
+    assert out["reference"]["hpwl_final_um"] == out["fast"]["hpwl_final_um"]
+    out["speedup"] = (out["fast"]["moves_per_s"]
+                      / out["reference"]["moves_per_s"])
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (~10s total)")
+    parser.add_argument("--out", default="",
+                        help="output path (default BENCH_<date>.json "
+                             "next to this script)")
+    args = parser.parse_args(argv)
+
+    reset_metrics()
+    results = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": args.quick,
+        "fault_sim": bench_fault_sim(args.quick),
+        "wafer_monte_carlo": bench_wafer(args.quick),
+        "placement": bench_placement(args.quick),
+    }
+    results["perf_registry"] = REGISTRY.as_dict()
+
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent
+        / f"BENCH_{results['date']}.json"
+    )
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+
+    for name, key, unit in [("fault_sim", "patterns_per_s", "patterns/s"),
+                            ("wafer_monte_carlo", "wafers_per_s",
+                             "wafers/s"),
+                            ("placement", "moves_per_s", "moves/s")]:
+        section = results[name]
+        fast_label = {"fault_sim": "words_batch4096",
+                      "wafer_monte_carlo": "vectorized",
+                      "placement": "fast"}[name]
+        slow_label = {"fault_sim": "scalar_bigint_batch64",
+                      "wafer_monte_carlo": "scalar",
+                      "placement": "reference"}[name]
+        print(f"{name:18s} {section[slow_label][key]:>12,.0f} -> "
+              f"{section[fast_label][key]:>12,.0f} {unit:10s} "
+              f"({section['speedup']:.1f}x)")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ fa             failure analysis workflow
 project        project/schedule simulation
 dsc            digital still camera reference application
 core           the end-to-end design-service flow
+perf           stage timers, throughput counters, process fan-out
 """
 
 __version__ = "1.0.0"

@@ -62,7 +62,9 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     print(f"scanned {scan_report.total_scan_flops} flops into "
           f"{len(scan_report.chains)} chains")
     result = run_atpg(scanned, seed=args.seed,
-                      max_random_patterns=args.patterns)
+                      max_random_patterns=args.patterns,
+                      batch_size=args.batch_size, kernel=args.kernel,
+                      workers=args.workers)
     print(result.format_report())
     return 0
 
@@ -119,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Simulated SOC design-service flow (DATE 2005 "
                     "multimedia SOC reproduction)",
     )
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="print a stage-time breakdown after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     flow = sub.add_parser("flow", help="run the nine-stage lifecycle")
@@ -143,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--chains", type=int, default=2)
     atpg.add_argument("--patterns", type=int, default=512)
     atpg.add_argument("--seed", type=int, default=3)
+    atpg.add_argument("--batch-size", type=int, default=64,
+                      help="fault-sim patterns per batch (wider is "
+                           "faster; selects a different but equally "
+                           "random pattern stream)")
+    atpg.add_argument("--kernel", choices=("words", "bigint"),
+                      default="words",
+                      help="fault-sim evaluation kernel")
+    atpg.add_argument("--workers", type=int, default=1,
+                      help="fault-partition processes for fault sim")
     atpg.set_defaults(func=_cmd_atpg)
 
     mbist = sub.add_parser("mbist", help="March coverage + BIST plan")
@@ -164,7 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    status = args.func(args)
+    if args.perf:
+        from .perf import perf_report
+
+        print()
+        print(perf_report())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from ..netlist import Module
+from ..perf import stage_timer
 from .faults import Fault, collapse_faults, enumerate_faults
 from .faultsim import CombinationalView, FaultSimResult, random_pattern_fault_sim
 from .podem import Podem
@@ -126,6 +127,9 @@ def run_atpg(
     max_random_patterns: int = 2048,
     backtrack_limit: int = 256,
     collapse: bool = True,
+    batch_size: int = 64,
+    kernel: str = "words",
+    workers: int = 1,
 ) -> AtpgResult:
     """Full ATPG flow on a (scanned) module.
 
@@ -133,6 +137,14 @@ def run_atpg(
     :func:`repro.dft.insert_scan`); plain-flop modules work too -- the
     combinational view simply treats all flop boundaries as test
     points, which models perfect scan access.
+
+    ``batch_size``, ``kernel`` and ``workers`` tune the random-pattern
+    fault-simulation phase (see
+    :func:`repro.dft.random_pattern_fault_sim`).  ``kernel`` and
+    ``workers`` never change the result; ``batch_size`` selects how
+    many patterns are drawn per batch, so a different width applies a
+    different (equally random) pattern stream.  The defaults match the
+    historical behaviour pattern-for-pattern.
     """
     rng = np.random.default_rng(seed)
     view = CombinationalView(module)
@@ -141,12 +153,15 @@ def run_atpg(
         universe = collapse_faults(module, universe)
 
     random_result: FaultSimResult = random_pattern_fault_sim(
-        view, universe, rng=rng, max_patterns=max_random_patterns
+        view, universe, rng=rng, max_patterns=max_random_patterns,
+        batch_size=batch_size, kernel=kernel, workers=workers,
     )
     undetected = [f for f in universe if f not in random_result.detected]
-    det_extra, untestable, det_patterns = _deterministic_phase(
-        view, undetected, rng=rng, backtrack_limit=backtrack_limit
-    )
+    with stage_timer("dft.atpg.podem") as stats:
+        det_extra, untestable, det_patterns = _deterministic_phase(
+            view, undetected, rng=rng, backtrack_limit=backtrack_limit
+        )
+        stats.add(patterns=det_patterns, faults=len(undetected))
     still_undetected = [
         f for f in undetected if f not in det_extra and f not in untestable
     ]

@@ -5,10 +5,24 @@ and pseudo primary output (its D net), so test generation reduces to
 the combinational network between scan elements.
 :class:`CombinationalView` extracts that network from a module and
 evaluates it **bit-parallel**: each net's value across a batch of
-patterns is one Python integer, one bit per pattern, and each cell is
-evaluated from its precomputed truth table with bitwise operations.
+patterns is one packed bit-vector, one bit per pattern, and each cell
+is evaluated from its precomputed truth table with bitwise operations.
 Single-fault simulation then re-evaluates only the fanout cone of the
 fault site -- the classic serial-fault / parallel-pattern scheme.
+
+Two interchangeable packed representations are provided:
+
+* the original **big-int kernel** (one Python integer per net), the
+  scalar reference path;
+* a **numpy ``uint64`` word-array kernel** (one array of 64-bit words
+  per net), which removes the practical 64-pattern batch cap and is
+  the default for :func:`random_pattern_fault_sim`.
+
+Both produce bit-identical detected-fault sets for the same RNG seed.
+Fanout cones and supports are memoized per instance, and
+:func:`random_pattern_fault_sim` can fan the fault list out over a
+process pool (:mod:`repro.perf`) with a deterministic merge, so the
+result is independent of worker count.
 """
 
 from __future__ import annotations
@@ -20,13 +34,25 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..netlist import Logic, Module
+from ..netlist.library import Cell
 from ..netlist.netlist import Instance
+from ..perf import fanout, stage_timer
 from .faults import Fault
 
+_WORD_BITS = 64
 
-def _truth_minterms(cell) -> tuple[tuple[int, ...], ...]:
+#: Truth tables cached per Cell at module level: repeated
+#: CombinationalView construction (benchmarks build many views over
+#: the same library) reuses them instead of re-enumerating 2^n rows.
+_TRUTH_CACHE: dict[Cell, tuple[tuple[int, ...], ...]] = {}
+
+
+def _truth_minterms(cell: Cell) -> tuple[tuple[int, ...], ...]:
     """Input combinations (one tuple of 0/1 per input pin) for which a
-    combinational cell outputs 1."""
+    combinational cell outputs 1.  Cached per cell."""
+    cached = _TRUTH_CACHE.get(cell)
+    if cached is not None:
+        return cached
     inputs = cell.input_pins
     minterms: list[tuple[int, ...]] = []
     for row in range(1 << len(inputs)):
@@ -35,7 +61,40 @@ def _truth_minterms(cell) -> tuple[tuple[int, ...], ...]:
         }
         if cell.evaluate(assignment) is Logic.ONE:
             minterms.append(tuple((row >> k) & 1 for k in range(len(inputs))))
-    return tuple(minterms)
+    result = tuple(minterms)
+    _TRUTH_CACHE[cell] = result
+    return result
+
+
+def _n_words(width: int) -> int:
+    return (width + _WORD_BITS - 1) // _WORD_BITS
+
+
+def _pack_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 ``uint8`` vector into little-endian ``uint64`` words
+    (bit *k* of the vector is bit ``k % 64`` of word ``k // 64``)."""
+    packed = np.packbits(bits, bitorder="little")
+    pad = (-packed.size) % 8
+    if pad:
+        packed = np.concatenate([packed, np.zeros(pad, dtype=np.uint8)])
+    return packed.view(np.uint64)
+
+
+def _pack_bigint(bits: np.ndarray) -> int:
+    """Pack a 0/1 ``uint8`` vector into one Python big integer."""
+    return int.from_bytes(
+        np.packbits(bits, bitorder="little").tobytes(), "little"
+    )
+
+
+def _first_set_bit(words: np.ndarray) -> int | None:
+    """Index of the lowest set bit across a word array, or ``None``."""
+    nonzero = np.flatnonzero(words)
+    if nonzero.size == 0:
+        return None
+    word_index = int(nonzero[0])
+    word = int(words[word_index])
+    return word_index * _WORD_BITS + ((word & -word).bit_length() - 1)
 
 
 class CombinationalView:
@@ -75,21 +134,65 @@ class CombinationalView:
             for pin in inst.cell.input_pins:
                 self._net_loads.setdefault(inst.net_of(pin), []).append(inst.name)
         self._topo_index = {inst.name: k for k, inst in enumerate(self._order)}
+        # Per-instance memos: a fault-sim campaign queries the same
+        # cones for every fault in every batch.
+        self._cone_cache: dict[str, tuple[Instance, ...]] = {}
+        self._support_cache: dict[str, tuple[str, ...]] = {}
+        self._mask_cache: dict[int, np.ndarray] = {}
+        # Hot-loop lookups for the word kernel: input/output net names
+        # per instance and minterm literal-row matrices per cell.
+        self._in_nets: dict[str, tuple[str, ...]] = {}
+        self._out_net: dict[str, str] = {}
+        for inst in self._order:
+            self._in_nets[inst.name] = tuple(
+                inst.net_of(pin) for pin in inst.cell.input_pins
+            )
+            self._out_net[inst.name] = inst.net_of(inst.cell.output_pins[0])
+        self._minterm_rows: dict[str, np.ndarray | None] = {}
+        for cell_name, minterms in self._minterms.items():
+            if not minterms or not minterms[0]:
+                # Constant cells (no inputs): handled without a matrix.
+                self._minterm_rows[cell_name] = None
+                continue
+            n_inputs = len(minterms[0])
+            # Literal row j is input j, row n_inputs + j its inversion.
+            self._minterm_rows[cell_name] = np.array(
+                [[j if bit else n_inputs + j
+                  for j, bit in enumerate(minterm)]
+                 for minterm in minterms],
+                dtype=np.intp,
+            )
+
+    def __getstate__(self):
+        # Drop memo caches when shipping the view to pool workers;
+        # each worker rebuilds them as it simulates.
+        state = self.__dict__.copy()
+        state["_cone_cache"] = {}
+        state["_support_cache"] = {}
+        state["_mask_cache"] = {}
+        return state
 
     # -- evaluation ---------------------------------------------------
+
+    def random_pattern_bits(
+        self, rng: np.random.Generator, count: int
+    ) -> dict[str, np.ndarray]:
+        """``count`` random patterns as unpacked 0/1 vectors per
+        pseudo input (the common source for both packed kernels)."""
+        return {
+            net: rng.integers(0, 2, size=count, dtype=np.uint8)
+            for net in self.pseudo_inputs
+        }
 
     def random_patterns(
         self, rng: np.random.Generator, count: int
     ) -> dict[str, int]:
         """Pack ``count`` random patterns: one integer per pseudo input,
         bit *k* of each integer is pattern *k*'s value."""
-        packed: dict[str, int] = {}
-        for net in self.pseudo_inputs:
-            bits = rng.integers(0, 2, size=count, dtype=np.uint8)
-            packed[net] = int.from_bytes(
-                np.packbits(bits, bitorder="little").tobytes(), "little"
-            )
-        return packed
+        return {
+            net: _pack_bigint(bits)
+            for net, bits in self.random_pattern_bits(rng, count).items()
+        }
 
     def _eval_instance(self, inst: Instance, values: Mapping[str, int],
                        mask: int, forced_pin: str | None = None,
@@ -125,11 +228,87 @@ class CombinationalView:
             values[out_net] = self._eval_instance(inst, values, mask)
         return values
 
+    # -- word-array (numpy uint64) kernel -----------------------------
+
+    def _mask_words(self, width: int) -> np.ndarray:
+        """All-ones mask for ``width`` patterns (cached; do not mutate)."""
+        mask = self._mask_cache.get(width)
+        if mask is None:
+            mask = np.full(_n_words(width), np.uint64(0xFFFFFFFFFFFFFFFF),
+                           dtype=np.uint64)
+            rem = width % _WORD_BITS
+            if rem:
+                mask[-1] = np.uint64((1 << rem) - 1)
+            mask.setflags(write=False)
+            self._mask_cache[width] = mask
+        return mask
+
+    def _eval_instance_words(
+        self, inst: Instance, values: Mapping[str, np.ndarray],
+        mask: np.ndarray, zeros: np.ndarray,
+        forced_pin: str | None = None,
+        forced_value: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Evaluate one instance on word arrays.
+
+        Input values may mix shapes ``(words,)`` (shared good value)
+        and ``(F, words)`` (per-fault overlays); broadcasting carries
+        the fault axis through.  The cell function is computed as
+        OR-of-minterms via one fancy-index into a stacked literal
+        matrix plus two reductions -- a handful of numpy calls per
+        instance, independent of input count and minterm count.
+        """
+        rows = self._minterm_rows[inst.cell.name]
+        if rows is None:
+            # Constant cell: output is 1 iff it has a (trivial) minterm.
+            return mask if self._minterms[inst.cell.name] else zeros
+        in_values = []
+        stacked_shape: tuple[int, ...] | None = None
+        for pin, net in zip(inst.cell.input_pins, self._in_nets[inst.name]):
+            if pin == forced_pin:
+                value = forced_value
+            else:
+                value = values.get(net, zeros)
+            in_values.append(value)
+            if value.ndim > 1:
+                stacked_shape = value.shape  # a (F, words) overlay
+        if stacked_shape is not None:
+            in_values = [
+                v if v.ndim > 1 else np.broadcast_to(v, stacked_shape)
+                for v in in_values
+            ]
+        literals = np.stack(in_values)
+        literals = np.concatenate([literals, ~literals])
+        # (minterms, literals-per-minterm, *shape) -> AND within each
+        # minterm, OR across minterms, then clip to the batch width.
+        terms = np.bitwise_and.reduce(literals[rows], axis=1)
+        return np.bitwise_or.reduce(terms, axis=0) & mask
+
+    def evaluate_words(
+        self, packed_inputs: Mapping[str, np.ndarray], width: int
+    ) -> dict[str, np.ndarray]:
+        """Word-array analogue of :meth:`evaluate`: every net's value
+        is a ``uint64`` array, 64 patterns per word."""
+        mask = self._mask_words(width)
+        zeros = np.zeros_like(mask)
+        values: dict[str, np.ndarray] = {
+            net: packed_inputs.get(net, zeros) for net in self.pseudo_inputs
+        }
+        for inst in self._order:
+            values[self._out_net[inst.name]] = self._eval_instance_words(
+                inst, values, mask, zeros
+            )
+        return values
+
     # -- fault machinery ------------------------------------------------
 
-    def fanout_cone(self, start_instance: str) -> list[Instance]:
+    def fanout_cone(self, start_instance: str) -> Sequence[Instance]:
         """Combinational instances affected by ``start_instance``'s
-        output, in topological order (including the start)."""
+        output, in topological order (including the start).  Memoized;
+        treat the result as read-only."""
+        cached = self._cone_cache.get(start_instance)
+        if cached is not None:
+            return cached
         seen = {start_instance}
         queue = deque([start_instance])
         while queue:
@@ -145,10 +324,16 @@ class CombinationalView:
         members = [self.module.instances[n] for n in seen
                    if not self.module.instances[n].cell.is_sequential]
         members.sort(key=lambda i: self._topo_index[i.name])
-        return members
+        result = tuple(members)
+        self._cone_cache[start_instance] = result
+        return result
 
-    def support(self, instance: str) -> list[str]:
-        """Pseudo inputs in the transitive fanin of an instance."""
+    def support(self, instance: str) -> Sequence[str]:
+        """Pseudo inputs in the transitive fanin of an instance.
+        Memoized; treat the result as read-only."""
+        cached = self._support_cache.get(instance)
+        if cached is not None:
+            return cached
         pi_set = set(self.pseudo_inputs)
         found: set[str] = set()
         seen_inst = {instance}
@@ -170,7 +355,9 @@ class CombinationalView:
                             continue
                         seen_inst.add(drv)
                         queue.append(drv)
-        return sorted(found)
+        result = tuple(sorted(found))
+        self._support_cache[instance] = result
+        return result
 
     def detect_mask(
         self,
@@ -222,16 +409,123 @@ class CombinationalView:
                 detected |= overlay[net] ^ good_values.get(net, 0)
         return detected & mask
 
+    def detect_words(
+        self,
+        fault: Fault,
+        good_values: Mapping[str, np.ndarray],
+        width: int,
+    ) -> np.ndarray:
+        """Word-array analogue of :meth:`detect_mask`: returns the
+        detecting-pattern mask as a ``uint64`` array."""
+        mask = self._mask_words(width)
+        zeros = np.zeros_like(mask)
+        inst = self.module.instances[fault.instance]
+        stuck = mask if fault.stuck_at else zeros
+        overlay: dict[str, np.ndarray] = {}
+
+        direction = inst.cell.pin(fault.pin).direction
+        if direction == "output":
+            out_net = inst.net_of(fault.pin)
+            current = overlay.get(out_net, good_values.get(out_net, zeros))
+            if np.array_equal(current, stuck):
+                return zeros  # fault never activated in this batch
+            overlay[out_net] = stuck
+        else:
+            faulty = self._eval_instance_words(
+                inst, _OverlayView(overlay, good_values), mask, zeros,
+                forced_pin=fault.pin, forced_value=stuck,
+            )
+            out_net = inst.net_of(inst.cell.output_pins[0])
+            if np.array_equal(faulty, good_values.get(out_net, zeros)):
+                return zeros
+            overlay[out_net] = faulty
+
+        for member in self.fanout_cone(fault.instance):
+            if member.name == fault.instance:
+                continue
+            new = self._eval_instance_words(
+                member, _OverlayView(overlay, good_values), mask, zeros
+            )
+            member_out = member.net_of(member.cell.output_pins[0])
+            if not np.array_equal(new, good_values.get(member_out, zeros)):
+                overlay[member_out] = new
+
+        detected = zeros.copy()
+        for net in self.pseudo_outputs:
+            if net in overlay:
+                np.bitwise_or(
+                    detected,
+                    overlay[net] ^ good_values.get(net, zeros),
+                    out=detected,
+                )
+        np.bitwise_and(detected, mask, out=detected)
+        return detected
+
+    def detect_words_site(
+        self,
+        instance: str,
+        site_faults: Sequence[Fault],
+        good_values: Mapping[str, np.ndarray],
+        width: int,
+    ) -> np.ndarray:
+        """Detecting-pattern masks for **all faults on one instance**
+        at once: returns shape ``(len(site_faults), words)``.
+
+        The faults share a fanout cone, so the cone is evaluated once
+        with a stacked fault axis instead of once per fault -- the
+        fault-parallel half of the word kernel.  Row ``f`` is
+        bit-identical to ``detect_words(site_faults[f], ...)``.
+        """
+        mask = self._mask_words(width)
+        zeros = np.zeros_like(mask)
+        inst = self.module.instances[instance]
+        out_net = self._out_net.get(instance) or inst.net_of(
+            inst.cell.output_pins[0]
+        )
+        rows = []
+        for fault in site_faults:
+            stuck = mask if fault.stuck_at else zeros
+            if inst.cell.pin(fault.pin).direction == "output":
+                rows.append(stuck)
+            else:
+                rows.append(self._eval_instance_words(
+                    inst, good_values, mask, zeros,
+                    forced_pin=fault.pin, forced_value=stuck,
+                ))
+        overlay: dict[str, np.ndarray] = {out_net: np.stack(rows)}
+
+        for member in self.fanout_cone(instance):
+            if member.name == instance:
+                continue
+            new = self._eval_instance_words(
+                member, _OverlayView(overlay, good_values), mask, zeros
+            )
+            member_out = self._out_net[member.name]
+            if not np.array_equal(new, good_values.get(member_out, zeros)):
+                overlay[member_out] = new
+
+        detected = np.zeros((len(site_faults),) + mask.shape, dtype=mask.dtype)
+        for net in self.pseudo_outputs:
+            value = overlay.get(net)
+            if value is not None:
+                np.bitwise_or(
+                    detected,
+                    value ^ good_values.get(net, zeros),
+                    out=detected,
+                )
+        np.bitwise_and(detected, mask, out=detected)
+        return detected
+
 
 class _OverlayView(dict):
     """Read-through overlay: fault values shadow good values."""
 
-    def __init__(self, overlay: dict[str, int], base: Mapping[str, int]):
+    def __init__(self, overlay: dict, base: Mapping):
         super().__init__()
         self._overlay = overlay
         self._base = base
 
-    def get(self, key: str, default: int = 0) -> int:
+    def get(self, key: str, default=0):
         if key in self._overlay:
             return self._overlay[key]
         return self._base.get(key, default)
@@ -246,14 +540,139 @@ class FaultSimResult:
     patterns_applied: int = 0
     #: (cumulative patterns, cumulative coverage) after each batch.
     coverage_curve: list[tuple[int, float]] = field(default_factory=list)
-    #: Patterns that detected at least one new fault (test set).
+    #: Single-pattern test set: for every detected fault, the first
+    #: pattern that detected it (deduplicated; one dict of 0/1 values
+    #: per pseudo input).
     effective_patterns: list[dict[str, int]] = field(default_factory=list)
+    #: fault -> index into :attr:`effective_patterns` of the pattern
+    #: that first detected it.
+    detection_index: dict[Fault, int] = field(default_factory=dict)
 
     @property
     def coverage(self) -> float:
         if self.total_faults == 0:
             return 1.0
         return len(self.detected) / self.total_faults
+
+    def detecting_pattern(self, fault: Fault) -> dict[str, int] | None:
+        """The recorded pattern that first detected ``fault``."""
+        index = self.detection_index.get(fault)
+        if index is None:
+            return None
+        return self.effective_patterns[index]
+
+
+# -- batch evaluators (one per packed representation) ----------------------
+
+
+def _batch_first_hits_words(
+    view: CombinationalView,
+    bits: Mapping[str, np.ndarray],
+    width: int,
+    remaining: Sequence[Fault],
+) -> dict[Fault, int]:
+    """Word-kernel batch: fault -> first detecting pattern index.
+
+    Faults are grouped by instance so each fault site's fanout cone is
+    evaluated once (stacked along a fault axis) per batch.
+    """
+    packed = {net: _pack_words(vec) for net, vec in bits.items()}
+    good = view.evaluate_words(packed, width)
+    by_site: dict[str, list[Fault]] = {}
+    for fault in remaining:
+        by_site.setdefault(fault.instance, []).append(fault)
+    hits: dict[Fault, int] = {}
+    for instance, site_faults in by_site.items():
+        detected = view.detect_words_site(instance, site_faults, good, width)
+        for row, fault in enumerate(site_faults):
+            first = _first_set_bit(detected[row])
+            if first is not None:
+                hits[fault] = first
+    return hits
+
+
+def _batch_first_hits_bigint(
+    view: CombinationalView,
+    bits: Mapping[str, np.ndarray],
+    width: int,
+    remaining: Sequence[Fault],
+) -> dict[Fault, int]:
+    """Big-int (scalar reference) batch: fault -> first detecting bit."""
+    packed = {net: _pack_bigint(vec) for net, vec in bits.items()}
+    good = view.evaluate(packed, width)
+    hits: dict[Fault, int] = {}
+    for fault in remaining:
+        mask = view.detect_mask(fault, good, width)
+        if mask:
+            hits[fault] = (mask & -mask).bit_length() - 1
+    return hits
+
+
+_BATCH_KERNELS = {
+    "words": _batch_first_hits_words,
+    "bigint": _batch_first_hits_bigint,
+}
+
+
+def _record_batch(
+    result: FaultSimResult,
+    view: CombinationalView,
+    bits: Mapping[str, np.ndarray],
+    width: int,
+    hits: Mapping[Fault, int],
+) -> None:
+    """Fold one batch's detections into the running result."""
+    result.detected.update(hits)
+    result.patterns_applied += width
+    result.coverage_curve.append((result.patterns_applied, result.coverage))
+    by_bit: dict[int, list[Fault]] = {}
+    for fault, bit in hits.items():
+        by_bit.setdefault(bit, []).append(fault)
+    for bit in sorted(by_bit):
+        pattern = {
+            net: int(bits[net][bit]) for net in view.pseudo_inputs
+        }
+        index = len(result.effective_patterns)
+        result.effective_patterns.append(pattern)
+        for fault in by_bit[bit]:
+            result.detection_index[fault] = index
+
+
+def _batch_schedule(max_patterns: int, batch_size: int) -> list[int]:
+    """Batch widths the serial loop would use, in order."""
+    widths: list[int] = []
+    applied = 0
+    while applied < max_patterns:
+        width = min(batch_size, max_patterns - applied)
+        widths.append(width)
+        applied += width
+    return widths
+
+
+def _fault_partition_worker(task) -> dict[Fault, tuple[int, int]]:
+    """Simulate one fault partition over the shared pattern schedule.
+
+    Returns fault -> (batch index, pattern bit) of its first
+    detection.  Every worker regenerates the identical pattern stream
+    from the snapshotted RNG state, so detections are exactly the ones
+    the serial loop would have seen.
+    """
+    view, faults, generator_name, rng_state, widths, kernel = task
+    bit_generator = getattr(np.random, generator_name)()
+    bit_generator.state = rng_state
+    rng = np.random.Generator(bit_generator)
+    batch_eval = _BATCH_KERNELS[kernel]
+    remaining = list(faults)
+    first: dict[Fault, tuple[int, int]] = {}
+    for batch_index, width in enumerate(widths):
+        if not remaining:
+            break
+        bits = view.random_pattern_bits(rng, width)
+        hits = batch_eval(view, bits, width, remaining)
+        for fault, bit in hits.items():
+            first[fault] = (batch_index, bit)
+        remaining = [f for f in remaining if f not in hits]
+    return first
 
 
 def random_pattern_fault_sim(
@@ -264,32 +683,123 @@ def random_pattern_fault_sim(
     max_patterns: int = 4096,
     batch_size: int = 64,
     target_coverage: float | None = None,
+    kernel: str = "words",
+    workers: int = 1,
 ) -> FaultSimResult:
     """Random-pattern fault simulation with fault dropping.
 
     Applies batches of random patterns until ``max_patterns`` is
     reached or ``target_coverage`` is met; detected faults are dropped
     from further simulation.
+
+    ``kernel`` selects the packed representation (``"words"`` for the
+    numpy ``uint64`` kernel, ``"bigint"`` for the scalar reference);
+    both give bit-identical results.  ``workers > 1`` partitions the
+    fault list over a process pool; the merge replays the serial
+    batch loop from per-fault first-detection records, so the result
+    (and the caller's ``rng`` state afterwards) is identical for any
+    worker count.
     """
+    if kernel not in _BATCH_KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    n_workers = max(1, int(workers)) if workers is not None else 1
+    with stage_timer("dft.fault_sim") as stats:
+        if n_workers > 1 and len(faults) > 1:
+            result = _parallel_fault_sim(
+                view, faults, rng=rng, max_patterns=max_patterns,
+                batch_size=batch_size, target_coverage=target_coverage,
+                kernel=kernel, workers=n_workers,
+            )
+        else:
+            result = _serial_fault_sim(
+                view, faults, rng=rng, max_patterns=max_patterns,
+                batch_size=batch_size, target_coverage=target_coverage,
+                kernel=kernel,
+            )
+        stats.add(patterns=result.patterns_applied,
+                  faults=len(faults),
+                  detected=len(result.detected))
+    return result
+
+
+def _serial_fault_sim(
+    view: CombinationalView,
+    faults: Sequence[Fault],
+    *,
+    rng: np.random.Generator,
+    max_patterns: int,
+    batch_size: int,
+    target_coverage: float | None,
+    kernel: str,
+) -> FaultSimResult:
+    batch_eval = _BATCH_KERNELS[kernel]
     result = FaultSimResult(total_faults=len(faults))
     remaining: list[Fault] = list(faults)
     while result.patterns_applied < max_patterns and remaining:
         width = min(batch_size, max_patterns - result.patterns_applied)
-        packed = view.random_patterns(rng, width)
-        good = view.evaluate(packed, width)
-        newly_detected: set[Fault] = set()
-        detecting_bits = 0
-        for fault in remaining:
-            hit = view.detect_mask(fault, good, width)
-            if hit:
-                newly_detected.add(fault)
-                detecting_bits |= hit & (-hit)  # keep first detecting pattern
-        remaining = [f for f in remaining if f not in newly_detected]
-        result.detected |= newly_detected
-        result.patterns_applied += width
-        result.coverage_curve.append((result.patterns_applied, result.coverage))
-        if newly_detected:
-            result.effective_patterns.append(packed)
+        bits = view.random_pattern_bits(rng, width)
+        hits = batch_eval(view, bits, width, remaining)
+        _record_batch(result, view, bits, width, hits)
+        remaining = [f for f in remaining if f not in hits]
+        if target_coverage is not None and result.coverage >= target_coverage:
+            break
+    return result
+
+
+def _parallel_fault_sim(
+    view: CombinationalView,
+    faults: Sequence[Fault],
+    *,
+    rng: np.random.Generator,
+    max_patterns: int,
+    batch_size: int,
+    target_coverage: float | None,
+    kernel: str,
+    workers: int,
+) -> FaultSimResult:
+    """Fault-partition fan-out with a deterministic serial replay.
+
+    Workers each simulate a contiguous slice of the fault list against
+    the full pattern schedule (regenerated from a snapshot of ``rng``).
+    The parent then replays the serial batch loop -- advancing its own
+    ``rng`` identically -- using the merged first-detection records
+    instead of re-simulating, so early-stop semantics
+    (``target_coverage``, everything-detected) match the serial path.
+    """
+    widths = _batch_schedule(max_patterns, batch_size)
+    generator_name = type(rng.bit_generator).__name__
+    rng_state = rng.bit_generator.state
+    n_chunks = min(workers, len(faults))
+    bounds = np.linspace(0, len(faults), n_chunks + 1).astype(int)
+    tasks = [
+        (view, list(faults[bounds[k]:bounds[k + 1]]), generator_name,
+         rng_state, widths, kernel)
+        for k in range(n_chunks)
+        if bounds[k] < bounds[k + 1]
+    ]
+    first: dict[Fault, tuple[int, int]] = {}
+    for part in fanout(_fault_partition_worker, tasks, workers=workers,
+                       stage="dft.fault_sim.fanout"):
+        first.update(part)
+
+    by_batch: dict[int, dict[Fault, int]] = {}
+    for fault in faults:  # original order, for stable grouping
+        hit = first.get(fault)
+        if hit is not None:
+            batch_index, bit = hit
+            by_batch.setdefault(batch_index, {})[fault] = bit
+
+    result = FaultSimResult(total_faults=len(faults))
+    remaining_count = len(faults)
+    for batch_index, width in enumerate(widths):
+        if result.patterns_applied >= max_patterns or remaining_count == 0:
+            break
+        bits = view.random_pattern_bits(rng, width)  # same stream as serial
+        hits = by_batch.get(batch_index, {})
+        _record_batch(result, view, bits, width, hits)
+        remaining_count -= len(hits)
         if target_coverage is not None and result.coverage >= target_coverage:
             break
     return result

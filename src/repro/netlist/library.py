@@ -183,6 +183,28 @@ _NODE_SCALE = {
 }
 
 
+# Module-level logic functions (not closures) so Cell objects -- and
+# therefore whole Modules -- stay picklable for process-pool fan-out.
+def logic_aoi21(a: Logic, b: Logic, c: Logic) -> Logic:
+    return logic_nor(logic_and(a, b), c)
+
+
+def logic_oai21(a: Logic, b: Logic, c: Logic) -> Logic:
+    return logic_nand(logic_or(a, b), c)
+
+
+def _tie_high() -> Logic:
+    return Logic.ONE
+
+
+def _tie_low() -> Logic:
+    return Logic.ZERO
+
+
+def _spare_undriven() -> Logic:
+    return Logic.X
+
+
 def _comb(
     lib: StdCellLibrary,
     scale: Mapping[str, float],
@@ -248,14 +270,8 @@ def make_default_library(process_node_um: float = 0.25) -> StdCellLibrary:
     _comb(lib, scale, "XOR2", 2, logic_xor, base_area=24.0, base_delay=85.0)
     _comb(lib, scale, "XNOR2", 2, logic_xnor, base_area=24.0, base_delay=88.0)
 
-    def aoi21(a: Logic, b: Logic, c: Logic) -> Logic:
-        return logic_nor(logic_and(a, b), c)
-
-    def oai21(a: Logic, b: Logic, c: Logic) -> Logic:
-        return logic_nand(logic_or(a, b), c)
-
-    _comb(lib, scale, "AOI21", 3, aoi21, base_area=16.0, base_delay=55.0)
-    _comb(lib, scale, "OAI21", 3, oai21, base_area=16.0, base_delay=55.0)
+    _comb(lib, scale, "AOI21", 3, logic_aoi21, base_area=16.0, base_delay=55.0)
+    _comb(lib, scale, "OAI21", 3, logic_oai21, base_area=16.0, base_delay=55.0)
 
     # MUX2: S selects between A (S=0) and B (S=1).
     for drive in (1, 2):
@@ -279,10 +295,10 @@ def make_default_library(process_node_um: float = 0.25) -> StdCellLibrary:
         )
 
     # Tie cells.
-    lib.add(Cell("TIEHI", (PinSpec("Y", "output"),), function=lambda: Logic.ONE,
+    lib.add(Cell("TIEHI", (PinSpec("Y", "output"),), function=_tie_high,
                  area_um2=6.0 * scale["area"], intrinsic_delay_ps=0.0,
                  footprint="TIE"))
-    lib.add(Cell("TIELO", (PinSpec("Y", "output"),), function=lambda: Logic.ZERO,
+    lib.add(Cell("TIELO", (PinSpec("Y", "output"),), function=_tie_low,
                  area_um2=6.0 * scale["area"], intrinsic_delay_ps=0.0,
                  footprint="TIE"))
 
@@ -325,7 +341,7 @@ def make_default_library(process_node_um: float = 0.25) -> StdCellLibrary:
         Cell(
             name="SPARE_BLOCK",
             pins=(PinSpec("Y", "output"),),
-            function=lambda: Logic.X,
+            function=_spare_undriven,
             area_um2=220.0 * scale["area"],
             is_spare=True,
             footprint="SPARE",

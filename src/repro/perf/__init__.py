@@ -1,0 +1,41 @@
+"""Execution engine and instrumentation for the flow's hot loops.
+
+Two halves:
+
+* :mod:`repro.perf.metrics` -- lightweight stage timers and throughput
+  counters.  Every ported kernel (fault simulation, wafer Monte Carlo,
+  placement annealing) reports through the module-level registry, and
+  ``python -m repro --perf <command>`` prints the stage-time breakdown
+  after the command completes.
+* :mod:`repro.perf.executor` -- deterministic process-pool fan-out.
+  Work is partitioned up front, results are merged in task order, and
+  every parallel entry point in the flow is seed-stable regardless of
+  worker count (one worker, serial inline execution, is always the
+  reference).
+"""
+
+from .metrics import (
+    REGISTRY,
+    PerfRegistry,
+    StageStats,
+    perf_report,
+    reset_metrics,
+    stage_timer,
+)
+from .executor import (
+    WORKERS_ENV,
+    fanout,
+    resolve_workers,
+)
+
+__all__ = [
+    "REGISTRY",
+    "PerfRegistry",
+    "StageStats",
+    "perf_report",
+    "reset_metrics",
+    "stage_timer",
+    "WORKERS_ENV",
+    "fanout",
+    "resolve_workers",
+]

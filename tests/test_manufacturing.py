@@ -14,6 +14,7 @@ from repro.manufacturing import (
     ProbeCardSetup,
     ProductionPlan,
     SystematicLoss,
+    WaferMap,
     WaferSpec,
     YieldStack,
     die_cost,
@@ -117,6 +118,42 @@ class TestWafer:
     def test_bad_area_rejected(self):
         with pytest.raises(ValueError):
             gross_dies_per_wafer(WaferSpec(), -1.0)
+
+    def test_simulated_gross_tracks_de_vries_formula(self):
+        # The rastered site count and the analytic estimate must stay
+        # within the partial-edge-die discrepancy (~10%), with the
+        # raster always >= the formula (the formula over-subtracts the
+        # edge ring).  Regression-pins the DSC die count.
+        state = initial_ramp_state()
+        for die_mm in (4.0, 6.0, 8.5, 12.0):
+            wafer_map = simulate_wafer(
+                state.stack, die_width_mm=die_mm, die_height_mm=die_mm,
+                rng=np.random.default_rng(0),
+            )
+            formula = gross_dies_per_wafer(WaferSpec(), die_mm * die_mm)
+            assert formula <= wafer_map.gross <= formula * 1.10
+        dsc_map = simulate_wafer(
+            state.stack, die_width_mm=8.5, die_height_mm=8.5,
+            rng=np.random.default_rng(0),
+        )
+        assert dsc_map.gross == 376  # pinned: grid layout is seedless
+
+    def test_measured_yield_edge_semantics(self):
+        # Edge-region dies are probed dies: they stay in `gross` and
+        # failing the radial screen lowers measured yield instead of
+        # shrinking the denominator.
+        empty = WaferMap(WaferSpec(), 8.5, 8.5)
+        assert empty.gross == 0
+        assert empty.measured_yield == 0.0
+        state = initial_ramp_state()
+        wafer_map = simulate_wafer(
+            state.stack, die_width_mm=8.5, die_height_mm=8.5,
+            rng=np.random.default_rng(2),
+        )
+        assert wafer_map.gross == len(wafer_map.passing)
+        assert wafer_map.good == sum(wafer_map.passing.values())
+        assert wafer_map.measured_yield == \
+            wafer_map.good / wafer_map.gross
 
 
 class TestProbe:
