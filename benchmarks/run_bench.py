@@ -114,6 +114,43 @@ def bench_placement(quick: bool) -> dict:
     return out
 
 
+def bench_simulator(quick: bool) -> dict:
+    """E4-scale netlist; bare simulation vs coverage-instrumented.
+
+    The coverage observer must not make simulation unusably slow: the
+    PERFORMANCE.md budget is < 2.5x the bare cycles/sec rate.
+    """
+    from repro.coverage import StructuralObserver, constrained_stimulus
+    from repro.sim import LogicSimulator
+
+    lib = make_default_library(0.25)
+    block = pipeline_block("dsc_rep", lib, stages=3, width=24,
+                           cloud_gates=120, seed=3)
+    cycles = 256 if quick else 1024
+    stimulus = constrained_stimulus(block, cycles=cycles,
+                                    rng=np.random.default_rng(7))
+
+    out = {"netlist": "E4 pipeline_block", "cycles": cycles}
+    for label, instrumented in [("bare", False), ("instrumented", True)]:
+        sim = LogicSimulator(block)
+        if instrumented:
+            sim.attach_observer(StructuralObserver(block))
+        sim.set_inputs({"clk": 0, "rst_n": 0})
+        sim.evaluate()
+        sim.clock_edge("clk")
+        sim.set_input("rst_n", 1)
+        start = time.perf_counter()
+        for vector in stimulus:
+            sim.set_inputs(vector)
+            sim.clock_edge("clk")
+        elapsed = time.perf_counter() - start
+        out[label] = {"cycles_per_s": cycles / elapsed,
+                      "seconds": elapsed}
+    out["overhead"] = (out["bare"]["cycles_per_s"]
+                       / out["instrumented"]["cycles_per_s"])
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -132,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         "fault_sim": bench_fault_sim(args.quick),
         "wafer_monte_carlo": bench_wafer(args.quick),
         "placement": bench_placement(args.quick),
+        "simulator": bench_simulator(args.quick),
     }
     results["perf_registry"] = REGISTRY.as_dict()
 
@@ -155,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:18s} {section[slow_label][key]:>12,.0f} -> "
               f"{section[fast_label][key]:>12,.0f} {unit:10s} "
               f"({section['speedup']:.1f}x)")
+    sim_section = results["simulator"]
+    print(f"{'simulator':18s} {sim_section['bare']['cycles_per_s']:>12,.0f}"
+          f" -> {sim_section['instrumented']['cycles_per_s']:>12,.0f} "
+          f"{'cycles/s':10s} ({sim_section['overhead']:.2f}x overhead "
+          "instrumented)")
     print(f"wrote {out_path}")
     return 0
 

@@ -10,6 +10,8 @@ writing scripts:
     python -m repro mbist         # March coverage + BIST plan
     python -m repro pins          # substrate 4 -> 2 layers
     python -m repro migrate       # 0.25 -> 0.18 um die cost
+    python -m repro regress       # E13 cross-simulator regression
+    python -m repro cover         # coverage-closure loop (DSC bench)
 """
 
 from __future__ import annotations
@@ -115,6 +117,64 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _null_checker(cycle, outputs):
+    """Picklable no-op checker for stimulus-only regression benches."""
+    return None
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from .netlist import make_default_library, pipeline_block
+    from .verification import (
+        Testbench,
+        cross_simulator_check,
+        random_stimulus,
+    )
+
+    library = make_default_library(0.25)
+    module = pipeline_block("blk", library, stages=args.stages,
+                            width=args.width,
+                            cloud_gates=args.cloud_gates, seed=args.seed)
+    benches = []
+    for index in range(args.benches):
+        stimulus = random_stimulus(module, cycles=args.cycles,
+                                   seed=args.seed + index)
+        if args.no_reset:
+            # E13 failure mode: reset deasserted but never applied, so
+            # flops keep their dialect-dependent power-on value.
+            stimulus = [{**vector, "rst_n": 1} for vector in stimulus]
+        benches.append(Testbench(
+            name=f"bench_{index}",
+            stimulus=stimulus,
+            checker=_null_checker,
+            reset_port=None if args.no_reset else "rst_n",
+        ))
+    cross = cross_simulator_check(module, benches, workers=args.workers)
+    print(cross.report_a.format_report())
+    print()
+    print(cross.report_b.format_report())
+    print()
+    print(cross.format_report())
+    return 0 if cross.consistent else 1
+
+
+def _cmd_cover(args: argparse.Namespace) -> int:
+    from .coverage import ClosureConfig, close_coverage, dsc_closure_bench
+
+    module, covergroup, spec = dsc_closure_bench()
+    config = ClosureConfig(
+        toggle_target=args.toggle_target,
+        functional_target=args.functional_target,
+        tests_per_round=args.tests_per_round,
+        cycles_per_test=args.cycles,
+        max_rounds=args.rounds,
+    )
+    result = close_coverage(module, covergroup, seed=args.seed,
+                            config=config, spec=spec,
+                            workers=args.workers)
+    print(result.format_report())
+    return 0 if result.reached else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +232,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     migrate = sub.add_parser("migrate", help="0.25 -> 0.18 um die cost")
     migrate.set_defaults(func=_cmd_migrate)
+
+    regress = sub.add_parser(
+        "regress", help="E13 cross-simulator regression suite")
+    regress.add_argument("--stages", type=int, default=2)
+    regress.add_argument("--width", type=int, default=8)
+    regress.add_argument("--cloud-gates", type=int, default=40)
+    regress.add_argument("--benches", type=int, default=4)
+    regress.add_argument("--cycles", type=int, default=16)
+    regress.add_argument("--seed", type=int, default=5)
+    regress.add_argument("--workers", type=int, default=1,
+                         help="bench fan-out processes per dialect")
+    regress.add_argument("--no-reset", action="store_true",
+                         help="skip reset to reproduce the E13 "
+                              "dialect mismatch (exit code 1)")
+    regress.set_defaults(func=_cmd_regress)
+
+    cover = sub.add_parser(
+        "cover", help="coverage-closure loop on the DSC bench")
+    cover.add_argument("--toggle-target", type=float, default=0.85)
+    cover.add_argument("--functional-target", type=float, default=1.0)
+    cover.add_argument("--tests-per-round", type=int, default=8)
+    cover.add_argument("--cycles", type=int, default=48)
+    cover.add_argument("--rounds", type=int, default=12)
+    cover.add_argument("--seed", type=int, default=1)
+    cover.add_argument("--workers", type=int, default=1,
+                       help="simulation fan-out processes per round")
+    cover.set_defaults(func=_cmd_cover)
 
     return parser
 

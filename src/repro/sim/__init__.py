@@ -8,7 +8,14 @@ from .simulator import (
     VENDOR_B_SIM,
     diff_traces,
 )
-from .vcd import save_vcd, write_vcd
+from .vcd import (
+    escape_signal_name,
+    load_vcd,
+    read_vcd,
+    save_vcd,
+    unescape_signal_name,
+    write_vcd,
+)
 
 __all__ = [
     "LogicSimulator",
@@ -17,6 +24,10 @@ __all__ = [
     "VENDOR_A_SIM",
     "VENDOR_B_SIM",
     "diff_traces",
+    "escape_signal_name",
+    "load_vcd",
+    "read_vcd",
     "save_vcd",
+    "unescape_signal_name",
     "write_vcd",
 ]

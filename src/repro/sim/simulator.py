@@ -17,7 +17,7 @@ stimulus under both dialects and diffing the traces is experiment E13.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..netlist import Logic, Module
 from ..netlist.netlist import Instance, NetlistError
@@ -107,7 +107,27 @@ class LogicSimulator:
             if port.direction == "input"
         }
         self.cycle = 0
+        self._observers: list[Callable[["LogicSimulator"], None]] = []
         self.evaluate()
+
+    # -- observers ----------------------------------------------------
+
+    def attach_observer(
+        self, observer: Callable[["LogicSimulator"], None]
+    ) -> None:
+        """Register a callback fired after every settled clock edge.
+
+        Coverage collectors (:mod:`repro.coverage`) hook in here; with
+        no observers attached the simulator pays only an empty-list
+        check per edge, so the bare simulation path is not slowed.
+        """
+        self._observers.append(observer)
+
+    def detach_observer(
+        self, observer: Callable[["LogicSimulator"], None]
+    ) -> None:
+        """Remove a previously attached observer."""
+        self._observers.remove(observer)
 
     # -- stimulus -----------------------------------------------------
 
@@ -213,6 +233,9 @@ class LogicSimulator:
         self.flop_state.update(next_state)
         self.cycle += 1
         self.evaluate()
+        if self._observers:
+            for observer in self._observers:
+                observer(self)
 
     # -- observation ----------------------------------------------------
 

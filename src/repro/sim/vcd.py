@@ -1,9 +1,16 @@
-"""Value-change-dump (VCD) export for simulation traces.
+"""Value-change-dump (VCD) export/import for simulation traces.
 
 Writes IEEE-1364 VCD from a :class:`repro.sim.Trace` so waveforms from
 the Python simulator open in any standard viewer (GTKWave etc.) --
 the cross-team debug currency the paper's sign-off arguments were
-settled with.
+settled with -- and reads them back (:func:`read_vcd`) so dumped
+traces round-trip exactly.
+
+VCD tokenises on whitespace and on the ``$``-keyword sentinels, so a
+raw signal name like ``bus $end`` or ``data out`` would corrupt the
+``$var`` declaration.  Such names are percent-escaped on write
+(``%20``, ``%24``, ...) and transparently unescaped on read; see
+:func:`escape_signal_name`.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ _VALUE_CHAR = {
     Logic.Z: "z",
 }
 
+_CHAR_VALUE = {char: level for level, char in _VALUE_CHAR.items()}
+
 
 def _identifier(index: int) -> str:
     """Compact VCD identifier for the index-th signal."""
@@ -37,6 +46,49 @@ def _identifier(index: int) -> str:
     return "".join(chars)
 
 
+def escape_signal_name(name: str) -> str:
+    """Escape a signal name into one safe VCD reference token.
+
+    Whitespace and non-printable characters would break VCD's
+    whitespace tokenisation, ``$`` could collide with keyword
+    sentinels like ``$end``, and ``%`` is the escape introducer
+    itself; each such character becomes ``%XX`` (uppercase hex).
+    Empty names are rejected -- there is nothing to escape them *to*.
+    """
+    if not name:
+        raise ValueError("signal name must be non-empty")
+    escaped = []
+    for char in name:
+        code = ord(char)
+        if char in "$%" or char.isspace() or not 33 <= code <= 126:
+            if code > 0xFF:
+                raise ValueError(
+                    f"cannot escape non-Latin-1 character {char!r} "
+                    f"in signal name {name!r}"
+                )
+            escaped.append(f"%{code:02X}")
+        else:
+            escaped.append(char)
+    return "".join(escaped)
+
+
+def unescape_signal_name(token: str) -> str:
+    """Inverse of :func:`escape_signal_name`."""
+    out = []
+    index = 0
+    while index < len(token):
+        char = token[index]
+        if char == "%":
+            if index + 3 > len(token):
+                raise ValueError(f"truncated escape in {token!r}")
+            out.append(chr(int(token[index + 1:index + 3], 16)))
+            index += 3
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
 def write_vcd(
     trace: Trace,
     stream: IO[str],
@@ -48,7 +100,9 @@ def write_vcd(
     """Serialise a trace as VCD; returns value changes written.
 
     Each trace sample becomes one timestep of ``cycle_time``; only
-    changed signals are dumped per step, per the VCD format.
+    changed signals are dumped per step, per the VCD format.  Signal
+    names that would corrupt the format are percent-escaped (see
+    :func:`escape_signal_name`).
     """
     identifiers = {
         signal: _identifier(index)
@@ -57,7 +111,8 @@ def write_vcd(
     stream.write(f"$timescale {timescale} $end\n")
     stream.write(f"$scope module {module_name} $end\n")
     for signal in trace.signals:
-        stream.write(f"$var wire 1 {identifiers[signal]} {signal} $end\n")
+        safe = escape_signal_name(signal)
+        stream.write(f"$var wire 1 {identifiers[signal]} {safe} $end\n")
     stream.write("$upscope $end\n$enddefinitions $end\n")
 
     changes = 0
@@ -77,7 +132,73 @@ def write_vcd(
     return changes
 
 
+def read_vcd(stream: IO[str], *, cycle_time: int = 10) -> Trace:
+    """Parse a VCD produced by :func:`write_vcd` back into a trace.
+
+    Signals come back in declaration order with their original
+    (unescaped) names; samples are reconstructed on the writer's
+    ``cycle_time`` grid, holding each signal's last change per the
+    format.  The trailing ``#time`` marker defines the trace length.
+    """
+    signals: list[str] = []
+    id_to_signal: dict[str, str] = {}
+    events: list[tuple[int, str, Logic]] = []
+    last_time = 0
+    current_time = 0
+    in_header = True
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line:
+            continue
+        if in_header:
+            if line.startswith("$var"):
+                tokens = line.split()
+                if len(tokens) != 6 or tokens[-1] != "$end":
+                    raise ValueError(f"malformed $var line: {line!r}")
+                _, _, _, identifier, name_token, _ = tokens
+                name = unescape_signal_name(name_token)
+                signals.append(name)
+                id_to_signal[identifier] = name
+            elif line.startswith("$enddefinitions"):
+                in_header = False
+            continue
+        if line.startswith("#"):
+            current_time = int(line[1:])
+            last_time = max(last_time, current_time)
+            continue
+        value_char, identifier = line[0], line[1:]
+        if value_char not in _CHAR_VALUE:
+            raise ValueError(f"unknown value change line: {line!r}")
+        try:
+            signal = id_to_signal[identifier]
+        except KeyError:
+            raise ValueError(
+                f"value change for undeclared identifier {identifier!r}"
+            ) from None
+        events.append((current_time, signal, _CHAR_VALUE[value_char]))
+
+    n_cycles = last_time // cycle_time
+    current: dict[str, Logic] = {name: Logic.X for name in signals}
+    samples: list[tuple[Logic, ...]] = []
+    event_index = 0
+    for cycle in range(n_cycles):
+        boundary = cycle * cycle_time
+        while event_index < len(events) and \
+                events[event_index][0] <= boundary:
+            _, signal, value = events[event_index]
+            current[signal] = value
+            event_index += 1
+        samples.append(tuple(current[name] for name in signals))
+    return Trace(signals=tuple(signals), samples=samples)
+
+
 def save_vcd(trace: Trace, path: str, **kwargs) -> int:
     """Convenience wrapper: write the trace to a file path."""
     with open(path, "w", encoding="ascii") as stream:
         return write_vcd(trace, stream, **kwargs)
+
+
+def load_vcd(path: str, **kwargs) -> Trace:
+    """Convenience wrapper: read a trace back from a file path."""
+    with open(path, "r", encoding="ascii") as stream:
+        return read_vcd(stream, **kwargs)

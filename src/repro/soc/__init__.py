@@ -19,7 +19,10 @@ from .dsc_soc import (
     DscSoc,
     JPEG_REGISTERS,
     MEMORY_MAP,
+    SLAVE_ORDER,
     broken_soc_with_overlap,
+    dsc_transaction_covergroup,
+    sample_bus_coverage,
 )
 
 __all__ = [
@@ -37,5 +40,8 @@ __all__ = [
     "DscSoc",
     "JPEG_REGISTERS",
     "MEMORY_MAP",
+    "SLAVE_ORDER",
     "broken_soc_with_overlap",
+    "dsc_transaction_covergroup",
+    "sample_bus_coverage",
 ]

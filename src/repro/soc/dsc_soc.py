@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .bus import BusError, SystemBus
+from ..coverage import CoverBin, CoverCross, CoverGroup, Coverpoint
+from .bus import BusError, Response, SystemBus
 from .peripherals import (
     DmaController,
     DmaDescriptor,
@@ -177,6 +178,68 @@ class DscSoc:
         for master, cycles in usage.items():
             lines.append(f"  master {master:12s}: {cycles} cycles")
         return "\n".join(lines)
+
+
+# -- integration-level functional coverage ------------------------------
+
+#: Stable slave ordering used to encode slave names as coverpoint values.
+SLAVE_ORDER = tuple(sorted(MEMORY_MAP))
+
+_RESPONSE_CODE = {Response.OKAY: 0, Response.ERROR: 1,
+                  Response.DECODE_ERROR: 2}
+
+
+def dsc_transaction_covergroup() -> CoverGroup:
+    """Functional coverage model over DSC bus transactions.
+
+    The integration-verification question in covergroup form: has
+    every mapped slave been read *and* written, and have the error
+    responses been provoked at least once?  ``slave`` x ``kind`` cross
+    bins are exactly the per-block read/write matrix a sign-off review
+    walks through -- running only the smoke test and the capture
+    scenario leaves the write side of most register blocks as ranked
+    holes (the paper's "in-sufficient test benches", made measurable).
+    """
+    slave_bins = tuple(
+        CoverBin(name, index, index)
+        for index, name in enumerate(SLAVE_ORDER)
+    )
+    kind_bins = (CoverBin("read", 0, 0), CoverBin("write", 1, 1))
+    response_bins = (CoverBin("okay", 0, 0), CoverBin("error", 1, 2))
+    return CoverGroup(
+        "dsc_bus",
+        coverpoints=(
+            Coverpoint("slave", slave_bins),
+            Coverpoint("kind", kind_bins),
+            Coverpoint("response", response_bins),
+        ),
+        crosses=(CoverCross("slave_x_kind", "slave", "kind"),),
+    )
+
+
+def sample_bus_coverage(
+    soc: DscSoc,
+    covergroup: CoverGroup,
+    hits: dict[str, int] | None = None,
+) -> dict[str, int]:
+    """Sample a covergroup over every transaction in the bus log.
+
+    Decode-error transactions hit the ``response`` point only (there
+    is no slave to attribute them to).  Returns the hit dict, ready
+    for a :class:`repro.coverage.CoverageDatabase` test record.
+    """
+    if hits is None:
+        hits = {}
+    for txn in soc.bus.log:
+        values = {
+            "kind": 1 if txn.is_write else 0,
+            "response": _RESPONSE_CODE[txn.response],
+        }
+        mapping = soc.bus.decode(txn.address)
+        if mapping is not None:
+            values["slave"] = SLAVE_ORDER.index(mapping.name)
+        covergroup.sample(values, hits)
+    return hits
 
 
 def broken_soc_with_overlap() -> None:

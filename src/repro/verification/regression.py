@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..netlist import Module
+from ..perf import fanout
 from ..sim import (
     SimulatorConfig,
     VENDOR_A_SIM,
@@ -42,15 +43,37 @@ class RegressionReport:
     def clean(self) -> bool:
         return self.failed == 0
 
+    @property
+    def total_duration_s(self) -> float:
+        """Wall-clock total across all benches."""
+        return sum(r.duration_s for r in self.results)
+
     def format_report(self) -> str:
         lines = [f"Regression under {self.dialect}: "
-                 f"{self.passed}/{len(self.results)} pass"]
+                 f"{self.passed}/{len(self.results)} pass "
+                 f"({self.total_duration_s * 1e3:.1f} ms)"]
         for result in self.results:
             status = "PASS" if result.passed else "FAIL"
-            lines.append(f"  {result.name:30s} {status}")
+            lines.append(f"  {result.name:30s} {status} "
+                         f"{result.duration_s * 1e3:8.1f} ms")
             for mismatch in result.mismatches[:3]:
                 lines.append(f"      {mismatch}")
+        # Failure-summary footer: the one line a triager reads first.
+        if self.clean:
+            lines.append(f"  all {len(self.results)} benches passed")
+        else:
+            failing = [r.name for r in self.results if not r.passed]
+            shown = ", ".join(failing[:5])
+            if len(failing) > 5:
+                shown += f", ... +{len(failing) - 5} more"
+            lines.append(f"  FAILURES ({len(failing)}): {shown}")
         return "\n".join(lines)
+
+
+def _bench_worker(task: tuple) -> TestbenchResult:
+    """Module-level worker so suites can fan out across processes."""
+    module, bench, config = task
+    return bench.run(module, config)
 
 
 def run_regression(
@@ -58,13 +81,23 @@ def run_regression(
     testbenches: Sequence[Testbench],
     *,
     config: SimulatorConfig | None = None,
+    workers: int | None = None,
 ) -> RegressionReport:
-    """Run every bench under one dialect."""
+    """Run every bench under one dialect.
+
+    ``workers > 1`` fans benches out over the deterministic process
+    pool (results merge in suite order, so the report is identical to
+    a serial run); benches with unpicklable checkers fall back to
+    serial execution automatically.
+    """
     config = config or VENDOR_A_SIM
-    report = RegressionReport(dialect=config.name)
-    for bench in testbenches:
-        report.results.append(bench.run(module, config))
-    return report
+    results = fanout(
+        _bench_worker,
+        [(module, bench, config) for bench in testbenches],
+        workers=workers,
+        stage="verification.regression",
+    )
+    return RegressionReport(dialect=config.name, results=list(results))
 
 
 @dataclass
@@ -105,10 +138,13 @@ def cross_simulator_check(
     *,
     config_a: SimulatorConfig = VENDOR_A_SIM,
     config_b: SimulatorConfig = VENDOR_B_SIM,
+    workers: int | None = None,
 ) -> CrossSimReport:
     """Run the suite under two dialects and reconcile (E13)."""
-    report_a = run_regression(module, testbenches, config=config_a)
-    report_b = run_regression(module, testbenches, config=config_b)
+    report_a = run_regression(module, testbenches, config=config_a,
+                              workers=workers)
+    report_b = run_regression(module, testbenches, config=config_b,
+                              workers=workers)
     cross = CrossSimReport(report_a, report_b)
     for result_a, result_b in zip(report_a.results, report_b.results):
         if result_a.passed != result_b.passed:

@@ -10,6 +10,7 @@ and consistency (same verdict under every simulator dialect).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -30,6 +31,7 @@ class TestbenchResult:
     cycles: int
     mismatches: list[str] = field(default_factory=list)
     trace: Trace | None = None
+    duration_s: float = 0.0
 
 
 @dataclass
@@ -57,6 +59,7 @@ class Testbench:
         self, module: Module, config: SimulatorConfig | None = None
     ) -> TestbenchResult:
         """Execute against a module under one simulator dialect."""
+        started = time.perf_counter()
         sim = LogicSimulator(module, config)
         ties = {self.clock_port: 0}
         for port_name, port in module.ports.items():
@@ -95,6 +98,7 @@ class Testbench:
             cycles=len(self.stimulus),
             mismatches=mismatches,
             trace=trace,
+            duration_s=time.perf_counter() - started,
         )
 
 

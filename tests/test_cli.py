@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("flow", "camera", "ramp", "atpg", "mbist",
-                        "pins", "migrate"):
+                        "pins", "migrate", "regress", "cover"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -57,3 +57,38 @@ class TestCommands:
         assert main(["flow", "--scale", "0.01", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "SOC DESIGN SERVICE FLOW REPORT" in out
+
+    def test_regress_consistent_suite(self, capsys):
+        assert main(["regress", "--benches", "2", "--cycles", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Regression under vendor_a_4state" in out
+        assert "Regression under vendor_b_2state" in out
+        assert "consistent         : True" in out
+        assert "benches passed" in out
+
+    def test_regress_no_reset_detects_mismatch(self, capsys):
+        assert main(["regress", "--benches", "1", "--cycles", "8",
+                     "--no-reset"]) == 1
+        out = capsys.readouterr().out
+        assert "consistent         : False" in out
+
+    def test_regress_parallel_matches_serial(self, capsys):
+        assert main(["regress", "--benches", "2", "--cycles", "8",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent         : True" in out
+
+    def test_cover_reaches_default_targets(self, capsys):
+        assert main(["cover", "--tests-per-round", "8",
+                     "--rounds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "TARGET REACHED" in out
+        assert "graded tests" in out
+        assert "Regression under vendor_a_4state" in out
+
+    def test_cover_impossible_target_fails(self, capsys):
+        assert main(["cover", "--toggle-target", "1.0",
+                     "--tests-per-round", "2", "--cycles", "8",
+                     "--rounds", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "STOPPED" in out

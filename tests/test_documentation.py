@@ -18,7 +18,7 @@ SUBPACKAGES = [
     "repro.physical", "repro.package", "repro.eco", "repro.ip",
     "repro.manufacturing", "repro.reliability", "repro.fa",
     "repro.project", "repro.dsc", "repro.soc", "repro.si", "repro.dfm",
-    "repro.lowpower", "repro.core",
+    "repro.lowpower", "repro.core", "repro.coverage",
 ]
 
 

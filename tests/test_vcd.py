@@ -1,0 +1,129 @@
+"""Tests for VCD export/import, including hostile signal names.
+
+The satellite fix this pins: a signal named ``bus $end`` or
+``data out`` used to be written raw into the ``$var`` declaration,
+corrupting the file for every downstream viewer.  Such names are now
+percent-escaped on write and unescaped on read, and the new
+:func:`repro.sim.read_vcd` round-trips whole traces exactly.
+"""
+
+import io
+
+import pytest
+
+from repro.netlist import Logic, counter, make_default_library
+from repro.sim import (
+    LogicSimulator,
+    escape_signal_name,
+    load_vcd,
+    read_vcd,
+    save_vcd,
+    unescape_signal_name,
+    write_vcd,
+)
+from repro.sim.simulator import Trace
+
+HOSTILE_NAMES = [
+    "data out",
+    "bus $end",
+    "tab\tseparated",
+    "newline\nname",
+    "percent%sign",
+    "$display",
+    " leading",
+]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("name", HOSTILE_NAMES)
+    def test_escaped_name_is_one_clean_token(self, name):
+        escaped = escape_signal_name(name)
+        assert " " not in escaped and "\t" not in escaped
+        assert "$" not in escaped and "\n" not in escaped
+        assert unescape_signal_name(escaped) == name
+
+    def test_plain_names_pass_through(self):
+        assert escape_signal_name("count0") == "count0"
+        assert escape_signal_name("u1.q") == "u1.q"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            escape_signal_name("")
+
+    def test_non_latin1_rejected(self):
+        with pytest.raises(ValueError):
+            escape_signal_name("σ_clock")
+
+    def test_truncated_escape_rejected(self):
+        with pytest.raises(ValueError):
+            unescape_signal_name("bad%2")
+
+
+def make_trace(signals, rows):
+    return Trace(signals=tuple(signals),
+                 samples=[tuple(row) for row in rows])
+
+
+class TestRoundTrip:
+    def test_simple_trace_roundtrips(self):
+        trace = make_trace(
+            ["a", "b"],
+            [(Logic.ZERO, Logic.ONE), (Logic.ONE, Logic.ONE),
+             (Logic.X, Logic.Z)],
+        )
+        buffer = io.StringIO()
+        write_vcd(trace, buffer)
+        buffer.seek(0)
+        back = read_vcd(buffer)
+        assert back.signals == trace.signals
+        assert back.samples == trace.samples
+
+    def test_hostile_names_roundtrip(self):
+        trace = make_trace(
+            HOSTILE_NAMES,
+            [tuple(Logic.ZERO for _ in HOSTILE_NAMES),
+             tuple(Logic.ONE for _ in HOSTILE_NAMES)],
+        )
+        buffer = io.StringIO()
+        write_vcd(trace, buffer)
+        text = buffer.getvalue()
+        for line in text.splitlines():
+            if line.startswith("$var"):
+                tokens = line.split()
+                assert len(tokens) == 6
+                assert tokens[-1] == "$end"
+        buffer.seek(0)
+        back = read_vcd(buffer)
+        assert back.signals == trace.signals
+        assert back.samples == trace.samples
+
+    def test_simulated_counter_roundtrips_via_file(self, tmp_path):
+        lib = make_default_library(0.25)
+        cnt = counter("cnt", lib, width=3)
+        sim = LogicSimulator(cnt)
+        sim.set_inputs({"clk": 0, "rst_n": 1})
+        sim.evaluate()
+        trace = sim.run(
+            [{} for _ in range(8)],
+            watch=[f"count{i}" for i in range(3)],
+        )
+        path = tmp_path / "cnt.vcd"
+        save_vcd(trace, str(path))
+        back = load_vcd(str(path))
+        assert back.signals == trace.signals
+        assert back.samples == trace.samples
+
+    def test_malformed_var_line_rejected(self):
+        buffer = io.StringIO(
+            "$var wire 1 ! bus $end extra $end\n"
+            "$enddefinitions $end\n#10\n"
+        )
+        with pytest.raises(ValueError):
+            read_vcd(buffer)
+
+    def test_undeclared_identifier_rejected(self):
+        buffer = io.StringIO(
+            "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1?\n#10\n"
+        )
+        with pytest.raises(ValueError):
+            read_vcd(buffer)

@@ -80,6 +80,52 @@ class TestRegression:
         assert report.passed == 3
         assert "3/3 pass" in report.format_report()
 
+    def test_per_bench_durations_recorded(self, cnt):
+        benches = [
+            Testbench(f"b{i}", [{} for _ in range(4)],
+                      lambda c, o: None)
+            for i in range(2)
+        ]
+        report = run_regression(cnt, benches)
+        assert all(r.duration_s > 0 for r in report.results)
+        assert report.total_duration_s == pytest.approx(
+            sum(r.duration_s for r in report.results))
+        text = report.format_report()
+        assert "ms" in text
+        assert "all 2 benches passed" in text
+
+    def test_failure_summary_footer_names_failures(self, cnt):
+        benches = [
+            Testbench("good", [{} for _ in range(2)], lambda c, o: None),
+            Testbench("bad", [{} for _ in range(2)],
+                      lambda c, o: "wrong"),
+        ]
+        report = run_regression(cnt, benches)
+        text = report.format_report()
+        assert "FAILURES (1): bad" in text
+
+    def test_failure_footer_truncates_long_lists(self, cnt):
+        benches = [
+            Testbench(f"bad{i}", [{}], lambda c, o: "wrong")
+            for i in range(7)
+        ]
+        text = run_regression(cnt, benches).format_report()
+        assert "FAILURES (7):" in text
+        assert "+2 more" in text
+
+    def test_parallel_suite_matches_serial_verdicts(self, cnt):
+        benches = [
+            Testbench(f"b{i}", [{} for _ in range(4)],
+                      counting_checker)
+            for i in range(3)
+        ]
+        serial = run_regression(cnt, benches, workers=1)
+        parallel = run_regression(cnt, benches, workers=2)
+        assert [r.name for r in parallel.results] == \
+            [r.name for r in serial.results]
+        assert [r.passed for r in parallel.results] == \
+            [r.passed for r in serial.results]
+
     def test_cross_sim_consistent_with_reset(self, cnt):
         """E13 resolution: benches that reset properly agree across
         dialects."""
