@@ -9,6 +9,7 @@ implementation, packaging, and mass-production yield ramp.
 Subpackages
 -----------
 netlist        gate-level netlist IR, cell library, generators
+lint           static design-rule analysis: structural, CDC, X, scan, SoC map
 sim            four-value logic simulation, vendor dialects
 verification   testbenches, regression running, cross-simulator compare
 formal         equivalence checking

@@ -12,6 +12,15 @@ writing scripts:
     python -m repro migrate       # 0.25 -> 0.18 um die cost
     python -m repro regress       # E13 cross-simulator regression
     python -m repro cover         # coverage-closure loop (DSC bench)
+    python -m repro lint          # static design-rule analysis (DSC)
+
+The ``lint`` command runs the rule families of :mod:`repro.lint` over
+the generated DSC design database: structural netlist checks (STR-*),
+clock-domain-crossing analysis (CDC-*), static X-source propagation
+(X-*), scan design rules (SCAN-*) and the SoC memory-map audit
+(MAP-*).  ``--waivers FILE`` applies a JSON waiver file; ``--fail-on``
+sets the exit-status threshold; ``--json`` emits the canonical report
+(byte-identical for any ``--workers`` value).
 """
 
 from __future__ import annotations
@@ -175,6 +184,26 @@ def _cmd_cover(args: argparse.Namespace) -> int:
     return 0 if result.reached else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import WaiverSet, dsc_lint_targets, run_lint
+
+    waivers = WaiverSet.load(args.waivers) if args.waivers else None
+    rules = args.rules.split(",") if args.rules else None
+    targets = dsc_lint_targets(scale=args.scale, seed=args.seed)
+    report = run_lint(
+        targets.modules,
+        soc=targets.soc,
+        catalog=targets.catalog,
+        binding=targets.binding,
+        design="dsc",
+        rules=rules,
+        workers=args.workers,
+        waivers=waivers,
+    )
+    print(report.to_json() if args.json else report.format_report())
+    return 1 if report.failed(args.fail_on) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -259,6 +288,26 @@ def build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--workers", type=int, default=1,
                        help="simulation fan-out processes per round")
     cover.set_defaults(func=_cmd_cover)
+
+    lint = sub.add_parser(
+        "lint", help="static design-rule analysis on the DSC database")
+    lint.add_argument("--scale", type=float, default=0.02,
+                      help="fraction of each IP's catalogue gate budget")
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument("--workers", type=int, default=None,
+                      help="module-lint fan-out processes")
+    lint.add_argument("--waivers", default="",
+                      help="JSON waiver file to apply")
+    lint.add_argument("--rules", default="",
+                      help="comma-separated rule ids or categories "
+                           "(e.g. cdc,SCAN-001); default: all")
+    lint.add_argument("--fail-on",
+                      choices=("error", "warning", "info", "none"),
+                      default="error",
+                      help="lowest severity that fails the run")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the canonical JSON report")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -2,6 +2,7 @@
 
 from .scan import (
     ScanChain,
+    ScanDrcError,
     ScanReport,
     chain_integrity_test,
     chain_wirelength_um,
@@ -35,6 +36,7 @@ from .hierarchical import (
 
 __all__ = [
     "ScanChain",
+    "ScanDrcError",
     "ScanReport",
     "chain_integrity_test",
     "chain_wirelength_um",

@@ -22,6 +22,24 @@ from ..sim import LogicSimulator
 _SCAN_EQUIVALENT = {"DFF": "SDFF", "DFFR": "SDFFR"}
 
 
+class ScanDrcError(ValueError):
+    """Scan design-rule violations block insertion.
+
+    Subclasses :class:`ValueError` so pre-DRC callers' error handling
+    keeps working.  Carries the offending lint findings.
+    """
+
+    def __init__(self, module_name: str, findings) -> None:
+        self.findings = list(findings)
+        details = "; ".join(f.message for f in self.findings[:5])
+        extra = len(self.findings) - 5
+        if extra > 0:
+            details += f" (+{extra} more)"
+        super().__init__(
+            f"scan DRC failed for module {module_name}: {details}"
+        )
+
+
 @dataclass(frozen=True)
 class ScanChain:
     """One stitched scan chain: ordered flop instance names."""
@@ -60,12 +78,19 @@ def insert_scan(
     n_chains: int = 1,
     in_place: bool = False,
     chain_order: list[str] | None = None,
+    drc: bool = True,
 ) -> tuple[Module, ScanReport]:
     """Swap flops for scan flops and stitch ``n_chains`` chains.
 
     ``chain_order`` optionally fixes the global flop ordering (e.g. a
     placement-aware order from :mod:`repro.physical`); default is
     name order, which is deterministic.
+
+    By default the scan design rules (:mod:`repro.lint.scandrc`) gate
+    insertion: uncontrollable resets, gated clocks, latches and
+    missing scan equivalents raise :class:`ScanDrcError` up front
+    instead of failing mid-rewrite.  Pass ``drc=False`` to skip the
+    gate (the legacy behaviour).
 
     Returns the scanned module and a :class:`ScanReport`.
     """
@@ -88,6 +113,13 @@ def insert_scan(
         flop_names = sorted(flop_names)
     if not flop_names:
         raise ValueError(f"module {module.name} has no flip-flops to scan")
+
+    if drc:
+        from ..lint import check_scan_drc  # lazy: avoid import cycle
+
+        violations = check_scan_drc(module)
+        if violations:
+            raise ScanDrcError(module.name, violations)
 
     area_before = scanned.total_area_um2
     scanned.add_port("scan_en", "input")

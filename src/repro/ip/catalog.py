@@ -174,6 +174,12 @@ class IpCatalog:
     def total_memory_macros(self) -> int:
         return sum(b.memory_macros for b in self.blocks)
 
+    def digital_blocks(self) -> list[IpBlock]:
+        """Synthesisable digital blocks -- the netlist/bus audit surface
+        (analogue and zero-budget blocks have no gates to lint)."""
+        return [b for b in self.blocks
+                if not b.is_analog and b.gate_budget > 0]
+
     def riskiest(self, count: int = 3) -> list[IpBlock]:
         return sorted(self.blocks, key=lambda b: b.maturity_score)[:count]
 

@@ -1,0 +1,72 @@
+"""Static design-rule analysis over the design database.
+
+The sign-off checks the paper's flow runs *without* simulation:
+structural netlist lint (the checks :meth:`repro.netlist.Module.validate`
+delegates to), clock/reset-domain inference and CDC detection, static
+X-source analysis (S2), scan design rules gating DFT insertion (S5),
+and the SoC memory-map/integration audit (S16).  Rules plug into a
+registry, findings carry stable fingerprints, waivers are first-class,
+and the engine fans out across modules deterministically via
+:mod:`repro.perf`.
+"""
+
+from .core import (
+    Finding,
+    LintError,
+    LintReport,
+    Rule,
+    Severity,
+    Waiver,
+    WaiverSet,
+    all_rules,
+    get_rule,
+    lint_modules,
+    load_builtin_rules,
+    register,
+    run_lint,
+    select_rules,
+)
+from .domains import (
+    DomainMap,
+    SourceTrace,
+    infer_clock_domains,
+    infer_reset_domains,
+    trace_control_source,
+)
+from .scandrc import SCAN_RULE_IDS, check_scan_drc
+from .socmap import SocView, SocWindow, soc_view
+from .structural import structural_problems
+from .dsc import DSC_BUS_BINDING, DscLintTargets, dsc_lint_targets
+
+load_builtin_rules()
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "Waiver",
+    "WaiverSet",
+    "all_rules",
+    "get_rule",
+    "lint_modules",
+    "load_builtin_rules",
+    "register",
+    "run_lint",
+    "select_rules",
+    "DomainMap",
+    "SourceTrace",
+    "infer_clock_domains",
+    "infer_reset_domains",
+    "trace_control_source",
+    "SCAN_RULE_IDS",
+    "check_scan_drc",
+    "SocView",
+    "SocWindow",
+    "soc_view",
+    "structural_problems",
+    "DSC_BUS_BINDING",
+    "DscLintTargets",
+    "dsc_lint_targets",
+]

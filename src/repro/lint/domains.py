@@ -1,0 +1,135 @@
+"""Clock and reset domain inference from netlist structure.
+
+No constraints file exists in this flow, so domains are inferred the
+way structural lint tools bootstrap them: every sequential element's
+clock (and reset) pin is traced backwards through transparent cells --
+buffers, inverters, pads and integrated clock gates -- to a *root*:
+an input port, another flop's output, a tie cell, a multi-input
+combinational gate ("derived") or an undriven net.  Two flops share a
+clock domain iff their traces reach the same root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.netlist import Module, Net
+
+
+@dataclass(frozen=True)
+class SourceTrace:
+    """Where a control net (clock/reset) ultimately comes from.
+
+    ``kind`` is one of ``"port"``, ``"flop"``, ``"derived"``, ``"tie"``
+    or ``"undriven"``; ``root`` names the port / instance / net;
+    ``through_gate`` records an ICG on the path and ``inverted`` the
+    parity of inverters crossed.
+    """
+
+    root: str
+    kind: str
+    through_gate: bool = False
+    inverted: bool = False
+    path: tuple[str, ...] = ()
+
+    @property
+    def domain(self) -> str:
+        """Domain label: the root, annotated when gated."""
+        label = f"{self.kind}:{self.root}"
+        return label + "+gated" if self.through_gate else label
+
+
+def trace_control_source(module: Module, net_name: str) -> SourceTrace:
+    """Trace one net back to its control root (see module docstring)."""
+    through_gate = False
+    inverted = False
+    path: list[str] = []
+    seen: set[str] = set()
+    current = net_name
+    while True:
+        if current in seen:  # combinational loop on the control path
+            return SourceTrace(current, "derived", through_gate,
+                               inverted, tuple(path))
+        seen.add(current)
+        net: Net = module.nets[current]
+        if net.driver is None:
+            if net.driver_port is not None:
+                return SourceTrace(net.driver_port, "port", through_gate,
+                                   inverted, tuple(path))
+            return SourceTrace(current, "undriven", through_gate,
+                               inverted, tuple(path))
+        inst = module.instances[net.driver.instance]
+        cell = inst.cell
+        if cell.is_sequential:
+            return SourceTrace(inst.name, "flop", through_gate,
+                               inverted, tuple(path))
+        inputs = cell.input_pins
+        if cell.is_clock_gate:
+            through_gate = True
+            path.append(inst.name)
+            current = inst.net_of("CK")
+            continue
+        if len(inputs) == 0:
+            return SourceTrace(inst.name, "tie", through_gate,
+                               inverted, tuple(path))
+        if len(inputs) == 1:  # buffer / inverter / pad: transparent
+            from ..netlist.logic import logic_not
+
+            if cell.function is logic_not:
+                inverted = not inverted
+            path.append(inst.name)
+            current = inst.net_of(inputs[0])
+            continue
+        return SourceTrace(inst.name, "derived", through_gate,
+                           inverted, tuple(path))
+
+
+@dataclass
+class DomainMap:
+    """Per-flop control-source traces plus the domain partition."""
+
+    #: flop instance name -> trace of its clock (or reset) net.
+    trace_of: dict[str, SourceTrace] = field(default_factory=dict)
+
+    @property
+    def domain_of(self) -> dict[str, str]:
+        return {name: trace.domain for name, trace in self.trace_of.items()}
+
+    @property
+    def domains(self) -> dict[str, tuple[str, ...]]:
+        """Domain label -> sorted flop names."""
+        grouped: dict[str, list[str]] = {}
+        for name, trace in self.trace_of.items():
+            grouped.setdefault(trace.domain, []).append(name)
+        return {label: tuple(sorted(members))
+                for label, members in sorted(grouped.items())}
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+
+def infer_clock_domains(module: Module) -> DomainMap:
+    """Clock-domain partition over every sequential instance."""
+    result = DomainMap()
+    for inst in module.sequential_instances:
+        clock_pin = inst.cell.clock_pin
+        if clock_pin is None:  # level-sensitive latch: no clock to trace
+            continue
+        result.trace_of[inst.name] = trace_control_source(
+            module, inst.net_of(clock_pin)
+        )
+    return result
+
+
+def infer_reset_domains(module: Module) -> DomainMap:
+    """Reset-domain partition over the resettable flops."""
+    result = DomainMap()
+    for inst in module.sequential_instances:
+        reset_pin = inst.cell.reset_pin
+        if reset_pin is None:
+            continue
+        result.trace_of[inst.name] = trace_control_source(
+            module, inst.net_of(reset_pin)
+        )
+    return result

@@ -1,0 +1,202 @@
+"""SoC-level memory-map and integration audit.
+
+The paper's S16 bug class: address-map integration errors -- two IPs
+decoded at overlapping windows, a block left off the bus, a register
+file wider than its window.  These are the checks a sign-off review
+walks the memory map with, run statically over the
+:class:`repro.soc.SystemBus` decode table and the
+:class:`repro.ip.IpCatalog`.
+
+Rules (scope ``soc``):
+
+* ``MAP-001`` -- overlapping address windows;
+* ``MAP-002`` -- window size not a power of two, or base not aligned
+  to the size (partial-decode hazard);
+* ``MAP-003`` -- dangling IP: a digital catalogue block with no bus
+  binding (no window and no master);
+* ``MAP-004`` -- slave data-port width differs from the bus width;
+* ``MAP-005`` -- register span larger than the decoded window;
+* ``MAP-006`` -- suspicious decode gap: a hole smaller than one page
+  (4 KiB) between adjacent windows usually means a mis-sized window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core import Finding, Rule, Severity, register
+
+#: Gaps smaller than this between adjacent windows are flagged.
+SMALL_GAP_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class SocWindow:
+    """One decoded slave window, normalised for auditing."""
+
+    name: str
+    base: int
+    size: int
+    width_bits: int | None
+    register_span_bytes: int | None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass(frozen=True)
+class SocView:
+    """Everything the SoC-scope rules audit, decoupled from live
+    bus/slave objects (and trivially picklable)."""
+
+    bus_name: str
+    data_width_bits: int
+    windows: tuple[SocWindow, ...]
+    masters: tuple[str, ...]
+    #: (block name, gate budget) for every digital catalogue block.
+    digital_blocks: tuple[tuple[str, int], ...]
+    #: block name -> window or master name carrying its traffic.
+    binding: tuple[tuple[str, str], ...]
+
+
+def soc_view(soc, *, catalog=None, binding=None) -> SocView:
+    """Build the audit view from a bus (or anything with ``.bus``)."""
+    bus = getattr(soc, "bus", soc)
+    windows = tuple(
+        SocWindow(
+            name=name,
+            base=window.base,
+            size=window.size,
+            width_bits=getattr(slave, "bus_width_bits", None),
+            register_span_bytes=getattr(slave, "register_span_bytes", None),
+        )
+        for name, window, slave in bus.iter_windows()
+    )
+    blocks: tuple[tuple[str, int], ...] = ()
+    if catalog is not None:
+        digital = (catalog.digital_blocks() if hasattr(catalog,
+                                                       "digital_blocks")
+                   else [b for b in catalog
+                         if not b.is_analog and b.gate_budget > 0])
+        blocks = tuple((b.name, b.gate_budget) for b in digital)
+    return SocView(
+        bus_name=bus.name,
+        data_width_bits=getattr(bus, "data_width_bits", 32),
+        windows=windows,
+        masters=tuple(getattr(bus, "masters", ())),
+        digital_blocks=blocks,
+        binding=tuple(sorted((binding or {}).items())),
+    )
+
+
+@register("MAP-001", Severity.ERROR, "socmap",
+          "overlapping address windows", scope="soc")
+def check_window_overlap(rule: Rule, view: SocView) -> list[Finding]:
+    findings = []
+    windows = sorted(view.windows, key=lambda w: (w.base, w.name))
+    for index, first in enumerate(windows):
+        for second in windows[index + 1:]:
+            if second.base >= first.end:
+                break  # sorted by base: nothing later can overlap first
+            findings.append(rule.finding(
+                view.bus_name, f"{first.name}|{second.name}",
+                f"address window of {second.name!r}"
+                f" [{second.base:#x}..{second.end:#x}) overlaps"
+                f" {first.name!r} [{first.base:#x}..{first.end:#x})",
+            ))
+    return findings
+
+
+@register("MAP-002", Severity.WARNING, "socmap",
+          "window not size-aligned", scope="soc")
+def check_window_alignment(rule: Rule, view: SocView) -> list[Finding]:
+    findings = []
+    for window in view.windows:
+        power_of_two = window.size > 0 and (window.size
+                                            & (window.size - 1)) == 0
+        aligned = power_of_two and window.base % window.size == 0
+        if power_of_two and aligned:
+            continue
+        why = ("size is not a power of two" if not power_of_two
+               else "base is not aligned to the window size")
+        findings.append(rule.finding(
+            view.bus_name, window.name,
+            f"window {window.name!r} [{window.base:#x}, size"
+            f" {window.size:#x}): {why} (partial-decode hazard)",
+        ))
+    return findings
+
+
+@register("MAP-003", Severity.ERROR, "socmap",
+          "dangling IP (no bus binding)", scope="soc")
+def check_dangling_ip(rule: Rule, view: SocView) -> list[Finding]:
+    if not view.digital_blocks:
+        return []
+    binding = dict(view.binding)
+    reachable = {w.name for w in view.windows} | set(view.masters)
+    findings = []
+    for name, gates in view.digital_blocks:
+        target = binding.get(name)
+        if target is None:
+            findings.append(rule.finding(
+                view.bus_name, name,
+                f"digital IP {name!r} ({gates} gates) has no bus"
+                f" binding: its ports dangle off the fabric",
+            ))
+        elif target not in reachable:
+            findings.append(rule.finding(
+                view.bus_name, name,
+                f"digital IP {name!r} bound to {target!r}, which is"
+                f" neither a mapped window nor a master",
+            ))
+    return findings
+
+
+@register("MAP-004", Severity.ERROR, "socmap",
+          "bus-width mismatch", scope="soc")
+def check_bus_width(rule: Rule, view: SocView) -> list[Finding]:
+    findings = []
+    for window in view.windows:
+        if window.width_bits is None:
+            continue
+        if window.width_bits != view.data_width_bits:
+            findings.append(rule.finding(
+                view.bus_name, window.name,
+                f"slave {window.name!r} data port is"
+                f" {window.width_bits} bits on a"
+                f" {view.data_width_bits}-bit bus",
+            ))
+    return findings
+
+
+@register("MAP-005", Severity.ERROR, "socmap",
+          "register span exceeds window", scope="soc")
+def check_register_span(rule: Rule, view: SocView) -> list[Finding]:
+    findings = []
+    for window in view.windows:
+        span = window.register_span_bytes
+        if span is not None and span > window.size:
+            findings.append(rule.finding(
+                view.bus_name, window.name,
+                f"slave {window.name!r} decodes {span:#x} bytes of"
+                f" registers inside a {window.size:#x}-byte window",
+            ))
+    return findings
+
+
+@register("MAP-006", Severity.WARNING, "socmap",
+          "suspicious decode gap", scope="soc")
+def check_decode_gaps(rule: Rule, view: SocView) -> list[Finding]:
+    findings = []
+    windows = sorted(view.windows, key=lambda w: (w.base, w.name))
+    for first, second in zip(windows, windows[1:]):
+        gap = second.base - first.end
+        if 0 < gap < SMALL_GAP_BYTES:
+            findings.append(rule.finding(
+                view.bus_name, f"{first.name}|{second.name}",
+                f"{gap:#x}-byte decode hole between {first.name!r}"
+                f" (ends {first.end:#x}) and {second.name!r}"
+                f" (starts {second.base:#x}): likely mis-sized window",
+            ))
+    return findings

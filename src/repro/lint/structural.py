@@ -1,0 +1,129 @@
+"""Structural lint rules: connectivity problems a netlist can carry.
+
+This family subsumes (and is delegated to by) the historical
+``Module.validate()``: undriven and unloaded nets, unconnected pins
+and combinational loops, extended with multi-driven nets and floating
+input ports.  All checks are purely structural -- no simulation, no
+library timing data.
+"""
+
+from __future__ import annotations
+
+from ..netlist.netlist import Module
+from .core import Finding, Rule, Severity, register
+
+
+@register("STR-001", Severity.ERROR, "structural",
+          "net has loads but no driver")
+def check_undriven_nets(rule: Rule, module: Module) -> list[Finding]:
+    """A loaded net with neither an instance driver nor an input port
+    floats -- in silicon it is an X generator (see ``X-002``)."""
+    findings = []
+    for net in module.nets.values():
+        if not net.is_driven and net.fanout > 0:
+            findings.append(rule.finding(
+                module.name, net.name,
+                f"net {net.name!r} has loads but no driver",
+            ))
+    return findings
+
+
+@register("STR-002", Severity.WARNING, "structural",
+          "net is driven but unloaded")
+def check_unloaded_nets(rule: Rule, module: Module) -> list[Finding]:
+    """Driven-but-unloaded nets are dead logic (spare-cell outputs are
+    intentionally uncommitted and exempt)."""
+    findings = []
+    for net in module.nets.values():
+        if net.is_driven and net.fanout == 0:
+            if net.driver is not None and \
+                    module.instances[net.driver.instance].cell.is_spare:
+                continue
+            findings.append(rule.finding(
+                module.name, net.name,
+                f"net {net.name!r} is driven but unloaded",
+            ))
+    return findings
+
+
+@register("STR-003", Severity.ERROR, "structural",
+          "instance pin unconnected")
+def check_unconnected_pins(rule: Rule, module: Module) -> list[Finding]:
+    """Every declared cell pin must map to a net."""
+    findings = []
+    for inst in module.instances.values():
+        for pin in inst.cell.pins:
+            if pin.name not in inst.connections:
+                findings.append(rule.finding(
+                    module.name, f"{inst.name}.{pin.name}",
+                    f"instance {inst.name} pin {pin.name} unconnected",
+                ))
+    return findings
+
+
+@register("STR-004", Severity.ERROR, "structural",
+          "combinational loop")
+def check_combinational_loops(rule: Rule, module: Module) -> list[Finding]:
+    """Reports the actual instance cycle, not just that one exists."""
+    cycle = module.find_combinational_cycle()
+    if cycle is None:
+        return []
+    path = " -> ".join(cycle + [cycle[0]])
+    return [rule.finding(
+        module.name, "->".join(cycle),
+        f"combinational loop in module {module.name}: {path}",
+    )]
+
+
+@register("STR-005", Severity.ERROR, "structural",
+          "net has multiple drivers")
+def check_multi_driven_nets(rule: Rule, module: Module) -> list[Finding]:
+    """The IR holds one instance driver per net, so the representable
+    contention is an instance output shorted onto an input-port net --
+    exactly the bug hand-edited or imported netlists carry."""
+    findings = []
+    for net in module.nets.values():
+        if net.driver is not None and net.driver_port is not None:
+            findings.append(rule.finding(
+                module.name, net.name,
+                f"net {net.name!r} driven by both input port"
+                f" {net.driver_port!r} and instance pin {net.driver}",
+            ))
+    return findings
+
+
+@register("STR-006", Severity.WARNING, "structural",
+          "floating input port")
+def check_floating_inputs(rule: Rule, module: Module) -> list[Finding]:
+    """An input port that drives nothing is dead interface -- usually a
+    mis-binding at the next level up (width/direction misuse)."""
+    findings = []
+    for port in module.ports.values():
+        if port.direction != "input":
+            continue
+        if module.nets[port.name].fanout == 0:
+            findings.append(rule.finding(
+                module.name, port.name,
+                f"input port {port.name!r} is floating (no loads)",
+            ))
+    return findings
+
+
+#: The rules (in order) whose messages reproduce ``Module.validate()``.
+_VALIDATE_RULES = ("STR-001", "STR-002", "STR-003", "STR-004",
+                   "STR-005", "STR-006")
+
+
+def structural_problems(module: Module) -> list[str]:
+    """Legacy ``Module.validate()`` surface: messages only.
+
+    Runs the structural rule family serially in registration order and
+    flattens the findings to the historical ``list[str]`` form.
+    """
+    from .core import get_rule
+
+    problems: list[str] = []
+    for rule_id in _VALIDATE_RULES:
+        rule = get_rule(rule_id)
+        problems.extend(f.message for f in rule.check(rule, module))
+    return problems

@@ -66,6 +66,8 @@ class Cell:
     drive_resistance_kohm: float = 1.0
     leakage_nw: float = 0.1
     is_sequential: bool = False
+    #: Level-sensitive latch (no clock edge); scan DRC rejects these.
+    is_latch: bool = False
     clock_pin: str | None = None
     data_pin: str | None = None
     reset_pin: str | None = None

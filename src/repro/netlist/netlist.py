@@ -293,35 +293,77 @@ class Module:
                 if indegree[dep] == 0:
                     ready.append(dep)
         if len(order) != len(indegree):
+            cycle = self.find_combinational_cycle()
+            if cycle:
+                path = " -> ".join(cycle + [cycle[0]])
+            else:  # pragma: no cover - unreachable when topo failed
+                path = f"{len(indegree) - len(order)} instances unordered"
             raise NetlistError(
-                f"combinational loop in module {self.name}: "
-                f"{len(indegree) - len(order)} instances unordered"
+                f"combinational loop in module {self.name}: {path}"
             )
         self._topo_cache = order
         return order
 
-    def validate(self) -> list[str]:
-        """Structural lint: returns a list of human-readable problems."""
-        problems: list[str] = []
-        for net in self.nets.values():
-            if not net.is_driven and net.fanout > 0:
-                problems.append(f"net {net.name!r} has loads but no driver")
-            if net.is_driven and net.fanout == 0:
-                if net.driver is not None and \
-                        self.instances[net.driver.instance].cell.is_spare:
-                    continue  # spare cells are intentionally uncommitted
-                problems.append(f"net {net.name!r} is driven but unloaded")
+    def find_combinational_cycle(self) -> list[str] | None:
+        """One combinational cycle as an instance-name path, or None.
+
+        The returned list is the cycle body (closing edge implied) and
+        is normalised to start at its lexicographically smallest member
+        so the same loop always reports the same path.
+        """
+        adjacency: dict[str, list[str]] = {}
         for inst in self.instances.values():
-            for pin in inst.cell.pins:
-                if pin.name not in inst.connections:
-                    problems.append(
-                        f"instance {inst.name} pin {pin.name} unconnected"
-                    )
-        try:
-            self.topological_combinational_order()
-        except NetlistError as exc:
-            problems.append(str(exc))
-        return problems
+            if inst.cell.is_sequential:
+                continue
+            targets: list[str] = []
+            for pin in inst.cell.output_pins:
+                net = self.nets[inst.net_of(pin)]
+                for load in net.loads:
+                    sink = self.instances[load.instance]
+                    if not sink.cell.is_sequential:
+                        targets.append(sink.name)
+            adjacency[inst.name] = targets
+
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in adjacency}
+        for start in adjacency:
+            if color[start] != WHITE:
+                continue
+            stack: list[tuple[str, Iterator[str]]] = [
+                (start, iter(adjacency[start]))
+            ]
+            color[start] = GREY
+            path = [start]
+            while stack:
+                name, targets = stack[-1]
+                advanced = False
+                for target in targets:
+                    if color[target] == GREY:
+                        cycle = path[path.index(target):]
+                        pivot = cycle.index(min(cycle))
+                        return cycle[pivot:] + cycle[:pivot]
+                    if color[target] == WHITE:
+                        color[target] = GREY
+                        path.append(target)
+                        stack.append((target, iter(adjacency[target])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[name] = BLACK
+                    stack.pop()
+                    path.pop()
+        return None
+
+    def validate(self) -> list[str]:
+        """Structural lint: returns a list of human-readable problems.
+
+        Delegates to the structural rule family of :mod:`repro.lint`
+        (the single source of truth for structural checks); the legacy
+        ``list[str]`` return type is preserved for API compatibility.
+        """
+        from ..lint.structural import structural_problems
+
+        return structural_problems(self)
 
     def copy(self, name: str | None = None) -> "Module":
         """Deep structural copy (shares the immutable library/cells)."""

@@ -87,8 +87,10 @@ class _Mapping:
 class SystemBus:
     """Priority-arbitrated, memory-mapped transaction bus."""
 
-    def __init__(self, name: str = "asb") -> None:
+    def __init__(self, name: str = "asb", *,
+                 data_width_bits: int = 32) -> None:
         self.name = name
+        self.data_width_bits = data_width_bits
         self._mappings: list[_Mapping] = []
         #: Masters in priority order (index 0 wins arbitration).
         self._masters: list[str] = []
@@ -160,6 +162,21 @@ class SystemBus:
         return self._issue(master, address, False)
 
     # -- integration checks ------------------------------------------------
+
+    def iter_windows(self) -> list[tuple[str, AddressRange, Slave]]:
+        """The decode map as (name, window, slave) rows, base order.
+
+        Public introspection surface for integration audits
+        (:mod:`repro.lint.socmap`).
+        """
+        return [(m.name, m.window, m.slave)
+                for m in sorted(self._mappings, key=lambda m:
+                                (m.window.base, m.name))]
+
+    @property
+    def masters(self) -> tuple[str, ...]:
+        """Registered masters in priority order."""
+        return tuple(self._masters)
 
     def memory_map_report(self) -> str:
         lines = [f"Memory map of {self.name}"]

@@ -23,6 +23,9 @@ class SdramModel:
     matter -- the performance bug integration testing finds.
     """
 
+    #: Native data-port width; audited against the bus width (MAP-004).
+    bus_width_bits = 32
+
     def __init__(self, *, size_bytes: int = 1 << 22, banks: int = 4,
                  row_bytes: int = 1024, cas_latency: int = 2,
                  row_miss_penalty: int = 5) -> None:
@@ -69,6 +72,9 @@ class SdramModel:
 class RegisterFile:
     """A generic IP register block: named registers at word offsets."""
 
+    #: Native data-port width; audited against the bus width (MAP-004).
+    bus_width_bits = 32
+
     def __init__(self, registers: dict[str, int]) -> None:
         """``registers`` maps name -> word offset."""
         self._offset_of = dict(registers)
@@ -92,6 +98,13 @@ class RegisterFile:
         self.write_log.append((self._name_of[word], data))
         return 0
 
+    @property
+    def register_span_bytes(self) -> int:
+        """Byte span of the decoded registers (for window-size audits)."""
+        if not self._offset_of:
+            return 0
+        return (max(self._offset_of.values()) + 1) * 4
+
     def value(self, name: str) -> int:
         return self._values.get(self._offset_of[name], 0)
 
@@ -105,6 +118,12 @@ class Fifo:
     Offset 0: data port (read pops, write pushes).
     Offset 4: status (bit0 = not-empty, bit1 = full, bits 16.. = level).
     """
+
+    #: Native data-port width; audited against the bus width (MAP-004).
+    bus_width_bits = 32
+
+    #: Byte span of the decoded ports (data @0, status @4).
+    register_span_bytes = 8
 
     def __init__(self, depth: int = 64) -> None:
         self.depth = depth

@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("flow", "camera", "ramp", "atpg", "mbist",
-                        "pins", "migrate", "regress", "cover"):
+                        "pins", "migrate", "regress", "cover", "lint"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -92,3 +92,22 @@ class TestCommands:
                      "--rounds", "2"]) == 1
         out = capsys.readouterr().out
         assert "STOPPED" in out
+
+    def test_lint_dsc_is_clean(self, capsys):
+        assert main(["lint", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no findings" in out
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "--scale", "0.005", "--json"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["error"] == 0
+        assert data["design"] == "dsc"
+
+    def test_lint_rule_selection(self, capsys):
+        assert main(["lint", "--scale", "0.005",
+                     "--rules", "structural,socmap"]) == 0
+        out = capsys.readouterr().out
+        assert "rules run" in out

@@ -1,0 +1,54 @@
+"""The lint determinism contract.
+
+The canonical JSON report must be byte-identical no matter how the
+rule engine was parallelised -- ``workers`` changes only the wall
+clock, never the answer (the same contract the coverage database
+keeps, see ``tests/test_coverage_determinism.py``).
+"""
+
+import pytest
+
+from repro.lint import dsc_lint_targets, run_lint
+from repro.netlist import Module, counter, make_default_library
+
+LIB = make_default_library(0.25)
+
+
+def dirty_modules():
+    """A mixed bag: clean counters plus modules with findings."""
+    modules = [counter(f"cnt{i}", LIB, width=3 + i,
+                       with_reset=bool(i % 2)) for i in range(4)]
+    broken = Module("broken", LIB)
+    broken.add_port("y", "output")
+    broken.add_instance("u0", "INV_X1", {"A": "n2", "Y": "n1"})
+    broken.add_instance("u1", "INV_X1", {"A": "n1", "Y": "n2"})
+    broken.add_instance("u2", "BUF_X1", {"A": "n1", "Y": "y"})
+    modules.append(broken)
+    return modules
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_report_json_identical_across_workers(workers):
+    serial = run_lint(dirty_modules(), design="d", workers=1)
+    parallel = run_lint(dirty_modules(), design="d", workers=workers)
+    assert serial.to_json() == parallel.to_json()
+    assert len(serial.findings) > 0  # the contract is non-vacuous
+
+
+def test_dsc_report_identical_across_workers():
+    reports = []
+    for workers in (1, 3):
+        targets = dsc_lint_targets(scale=0.005)
+        reports.append(run_lint(
+            targets.modules, soc=targets.soc, catalog=targets.catalog,
+            binding=targets.binding, design="dsc", workers=workers,
+        ).to_json())
+    assert reports[0] == reports[1]
+
+
+def test_rule_selection_stable_under_parallelism():
+    serial = run_lint(dirty_modules(), rules=["structural", "xprop"],
+                      workers=1)
+    parallel = run_lint(dirty_modules(), rules=["structural", "xprop"],
+                        workers=4)
+    assert serial.to_json() == parallel.to_json()
