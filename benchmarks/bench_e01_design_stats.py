@@ -6,7 +6,6 @@ implemented in TSMC 0.25um 1P5M CMOS process and packed in TFBGA256
 package."
 """
 
-import pytest
 
 from repro.core import DesignServiceFlow
 from repro.ip import dsc_ip_catalog

@@ -6,7 +6,6 @@ millions of the chip over 18 months.  Our system customer was able
 take about 8% of world-wide market share during that period."
 """
 
-import pytest
 
 from repro.project import simulate_project
 from repro.manufacturing import simulate_production

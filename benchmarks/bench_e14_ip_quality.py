@@ -12,10 +12,8 @@ IP maturity; the USB core lands above 10; silicon-proven in-house
 blocks land near 1.
 """
 
-import numpy as np
 
 from repro.ip import (
-    Deliverable,
     HdlLanguage,
     IpBlock,
     IpSource,

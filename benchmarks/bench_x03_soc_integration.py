@@ -8,7 +8,6 @@ clean memory map; the two modelled integration bug classes (window
 overlap, same-bank SDRAM buffers) are caught / visible.
 """
 
-import pytest
 
 from repro.soc import BusError, DscSoc, broken_soc_with_overlap
 

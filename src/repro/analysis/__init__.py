@@ -1,0 +1,98 @@
+"""Abstract-interpretation dataflow analysis over the netlist IR.
+
+A worklist fixpoint engine (:mod:`repro.analysis.engine`) with
+pluggable abstract domains (:mod:`repro.analysis.domains`) powers three
+semantic analyses (:mod:`repro.analysis.analyses`): constant
+propagation with dead-logic detection, static prediction of where the
+two simulator dialects of :mod:`repro.sim` diverge, and a zero-delay
+race detector.  The results surface as the ``CONST-00x`` / ``DEAD-00x``
+/ ``DIV-00x`` / ``RACE-00x`` lint families (:mod:`repro.lint.analysis`)
+and are cross-validated against real dual-dialect simulation by
+:mod:`repro.verification.crossval`.
+"""
+
+from .domains import (
+    BINARY,
+    BOT,
+    ConstantDomain,
+    DIVERGENT,
+    DualConstantDomain,
+    ONE,
+    PAIR_TOP,
+    TOP,
+    TaintDomain,
+    XBIT,
+    ZERO,
+    component_a,
+    component_b,
+    diagonal,
+    format_mask,
+    format_pair_mask,
+    level_bit,
+    mask_levels,
+    mask_pairs,
+    pair_bit,
+)
+from .engine import FixpointEngine, FixpointResult, run_fixpoint
+from .analyses import (
+    AnalysisReport,
+    ModuleAnalysis,
+    ModuleSummary,
+    analyze_module,
+    analyze_modules,
+    clock_path_races,
+    constant_cones,
+    divergent_nets,
+    divergent_output_ports,
+    multi_driver_races,
+    mux_select_x_sites,
+    never_toggling_flops,
+    observable_nets,
+    reconvergent_x_sites,
+    stuck_nets,
+    summarize_module,
+    unobservable_instances,
+)
+
+__all__ = [
+    "BINARY",
+    "BOT",
+    "ConstantDomain",
+    "DIVERGENT",
+    "DualConstantDomain",
+    "ONE",
+    "PAIR_TOP",
+    "TOP",
+    "TaintDomain",
+    "XBIT",
+    "ZERO",
+    "component_a",
+    "component_b",
+    "diagonal",
+    "format_mask",
+    "format_pair_mask",
+    "level_bit",
+    "mask_levels",
+    "mask_pairs",
+    "pair_bit",
+    "FixpointEngine",
+    "FixpointResult",
+    "run_fixpoint",
+    "AnalysisReport",
+    "ModuleAnalysis",
+    "ModuleSummary",
+    "analyze_module",
+    "analyze_modules",
+    "clock_path_races",
+    "constant_cones",
+    "divergent_nets",
+    "divergent_output_ports",
+    "multi_driver_races",
+    "mux_select_x_sites",
+    "never_toggling_flops",
+    "observable_nets",
+    "reconvergent_x_sites",
+    "stuck_nets",
+    "summarize_module",
+    "unobservable_instances",
+]

@@ -1,0 +1,563 @@
+"""The shipped analyses: constants/dead logic, X-divergence, races.
+
+:class:`ModuleAnalysis` bundles one module's fixpoints (shared by every
+query and lint rule so the engine runs once per module per domain):
+
+* ``const``  -- :class:`~repro.analysis.domains.ConstantDomain` under
+  binary stimulus with dialect-agnostic power-on values;
+* ``dual``   -- :class:`~repro.analysis.domains.DualConstantDomain`
+  pairing the two simulator dialects under one stimulus;
+* ``xtaint`` -- which power-on X generators (un-reset flops, floating
+  nets, spares) reach each net;
+* ``launch`` -- which flops reach each net through combinational logic
+  only (the race detector's single-cycle launch sets);
+* ``domains`` -- which clock domains' state reaches each net;
+* ``observable`` -- nets backward-reachable from an output/inout port.
+
+:func:`analyze_modules` fans whole-module analyses across processes via
+:func:`repro.perf.fanout`; per-module summaries are pure functions of
+the module, so the merged :class:`AnalysisReport` is byte-identical for
+any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from ..netlist import Module
+from ..netlist.netlist import Instance, Net
+from ..perf import fanout
+from ..sim import SimulatorConfig, VENDOR_A_SIM, VENDOR_B_SIM
+from .domains import (
+    BINARY,
+    ConstantDomain,
+    DIVERGENT,
+    DualConstantDomain,
+    ONE,
+    TaintDomain,
+    XBIT,
+    ZERO,
+    component_a,
+    format_mask,
+    format_pair_mask,
+)
+from .engine import FixpointResult, run_fixpoint
+
+
+def observable_nets(module: Module) -> FrozenSet[str]:
+    """Nets backward-reachable from any output/inout port.
+
+    Reachability crosses sequential cells (a value captured by a flop
+    can still be seen later), so a net is *unobservable* only when no
+    amount of clocking can ever move its value to a port.
+    """
+    seen: set[str] = set()
+    work: deque[str] = deque()
+    for name, port in module.ports.items():
+        if port.direction in ("output", "inout"):
+            seen.add(name)
+            work.append(name)
+    while work:
+        net: Net = module.nets[work.popleft()]
+        if net.driver is None:
+            continue
+        inst = module.instances[net.driver.instance]
+        for pin in inst.cell.input_pins:
+            upstream = inst.net_of(pin)
+            if upstream not in seen:
+                seen.add(upstream)
+                work.append(upstream)
+    return frozenset(seen)
+
+
+def _x_source_label(kind: str, name: str) -> str:
+    return f"{kind}:{name}"
+
+
+def _flop_reset_assured(
+    module: Module, const: FixpointResult
+) -> FrozenSet[str]:
+    """Flops whose reset net can actually assert (reach 0).
+
+    A flop with a reset pin tied inactive never leaves its power-on
+    value, so it must NOT be treated as reset-disciplined -- that
+    would be a false "proven safe".
+    """
+    assured: set[str] = set()
+    for flop in module.sequential_instances:
+        reset_pin = flop.cell.reset_pin
+        if reset_pin is None:
+            continue
+        if const.net_values[flop.net_of(reset_pin)] & ZERO:
+            assured.add(flop.name)
+    return frozenset(assured)
+
+
+@dataclass
+class ModuleAnalysis:
+    """Every fixpoint the rule families and reports share."""
+
+    module: Module
+    config_a: SimulatorConfig
+    config_b: SimulatorConfig
+    const: FixpointResult
+    dual: FixpointResult
+    xtaint: FixpointResult
+    launch: FixpointResult
+    domains: FixpointResult
+    observable: FrozenSet[str]
+    reset_assured: FrozenSet[str]
+
+
+_CACHE: "WeakKeyDictionary[Module, Dict[tuple, ModuleAnalysis]]" = (
+    WeakKeyDictionary()
+)
+
+
+def analyze_module(
+    module: Module,
+    config_a: SimulatorConfig = VENDOR_A_SIM,
+    config_b: SimulatorConfig = VENDOR_B_SIM,
+) -> ModuleAnalysis:
+    """Run (or fetch cached) fixpoints for one module.
+
+    The cache is keyed on module identity plus the dialect pair, so
+    the four rule families triggered by one lint pass share a single
+    engine run per domain.
+    """
+    per_module = _CACHE.setdefault(module, {})
+    key = (config_a.name, config_b.name)
+    cached = per_module.get(key)
+    if cached is not None:
+        return cached
+
+    const = run_fixpoint(
+        module,
+        ConstantDomain(
+            config_a, uninit_mask=_uninit_mask(config_a, config_b)
+        ),
+    )
+    reset_assured = _flop_reset_assured(module, const)
+    dual = run_fixpoint(
+        module,
+        DualConstantDomain(config_a, config_b, reset_assured=reset_assured),
+    )
+
+    def x_flop_seed(inst: Instance) -> FrozenSet[str]:
+        if inst.cell.reset_pin is None or inst.name not in reset_assured:
+            return frozenset({_x_source_label("flop", inst.name)})
+        return frozenset()
+
+    def x_undriven_seed(net: Net) -> FrozenSet[str]:
+        return frozenset({_x_source_label("undriven", net.name)})
+
+    xtaint = run_fixpoint(
+        module,
+        TaintDomain(
+            flop_seed=x_flop_seed,
+            undriven_seed=x_undriven_seed,
+            through_flops=True,
+        ),
+    )
+    launch = run_fixpoint(
+        module,
+        TaintDomain(
+            flop_seed=lambda inst: frozenset({inst.name}),
+            through_flops=False,
+        ),
+    )
+
+    from ..lint.domains import trace_control_source
+
+    def domain_seed(inst: Instance) -> FrozenSet[str]:
+        clock_pin = inst.cell.clock_pin
+        if clock_pin is None:
+            return frozenset({"unclocked"})
+        trace = trace_control_source(module, inst.net_of(clock_pin))
+        return frozenset({trace.domain})
+
+    domains = run_fixpoint(
+        module, TaintDomain(flop_seed=domain_seed, through_flops=True)
+    )
+
+    analysis = ModuleAnalysis(
+        module=module,
+        config_a=config_a,
+        config_b=config_b,
+        const=const,
+        dual=dual,
+        xtaint=xtaint,
+        launch=launch,
+        domains=domains,
+        observable=observable_nets(module),
+        reset_assured=reset_assured,
+    )
+    per_module[key] = analysis
+    return analysis
+
+
+def _uninit_mask(config_a: SimulatorConfig, config_b: SimulatorConfig) -> int:
+    """Single-dialect power-on set covering both dialects."""
+    mask = 0
+    for config in (config_a, config_b):
+        value = config.uninitialized_flop
+        mask |= {0: ZERO, 1: ONE}.get(
+            int(value) if value.is_known else -1, XBIT
+        )
+    return mask
+
+
+# -- constant propagation / dead logic --------------------------------------
+
+def stuck_nets(analysis: ModuleAnalysis) -> List[Tuple[str, str]]:
+    """Loaded nets provably constant under binary stimulus.
+
+    Tie-cell outputs are exempt (a constant is their job); everything
+    else stuck at 0 or 1 is frozen logic.  Returns (net, value) pairs.
+    """
+    module = analysis.module
+    out: List[Tuple[str, str]] = []
+    for name in sorted(module.nets):
+        net = module.nets[name]
+        if net.fanout == 0:
+            continue
+        driver = net.driver
+        if driver is not None:
+            cell = module.instances[driver.instance].cell
+            if cell.footprint == "TIE" or cell.is_spare:
+                continue
+        elif net.driver_port is None:
+            continue  # floating net: X generator, not a constant
+        mask = analysis.const.net_values[name]
+        if mask == ZERO:
+            out.append((name, "0"))
+        elif mask == ONE:
+            out.append((name, "1"))
+    return out
+
+
+def never_toggling_flops(analysis: ModuleAnalysis) -> List[Tuple[str, str]]:
+    """Flops whose reachable state set misses 0 or 1 (never toggle)."""
+    out: List[Tuple[str, str]] = []
+    for name in sorted(analysis.const.flop_state):
+        mask = analysis.const.flop_state[name]
+        if not (mask & ZERO and mask & ONE):
+            out.append((name, format_mask(mask)))
+    return out
+
+
+def unobservable_instances(analysis: ModuleAnalysis) -> List[str]:
+    """Instances no output port can ever see (transitively dead)."""
+    module = analysis.module
+    out: List[str] = []
+    for name in sorted(module.instances):
+        inst = module.instances[name]
+        if inst.cell.is_spare:
+            continue  # intentionally uncommitted
+        nets = [inst.net_of(pin) for pin in inst.cell.output_pins]
+        if nets and not any(net in analysis.observable for net in nets):
+            out.append(name)
+    return out
+
+
+def constant_cones(analysis: ModuleAnalysis) -> List[Tuple[str, str, str]]:
+    """Combinational instances computing a proven constant.
+
+    Returns (instance, output net, value) triples; ties and spares are
+    exempt as in :func:`stuck_nets`.
+    """
+    module = analysis.module
+    stuck = dict(stuck_nets(analysis))
+    out: List[Tuple[str, str, str]] = []
+    for name in sorted(module.instances):
+        inst = module.instances[name]
+        if inst.cell.is_sequential:
+            continue
+        for pin in inst.cell.output_pins:
+            net = inst.net_of(pin)
+            if net in stuck:
+                out.append((name, net, stuck[net]))
+                break
+    return out
+
+
+# -- X-divergence -----------------------------------------------------------
+
+def divergent_nets(analysis: ModuleAnalysis) -> List[str]:
+    """Every net whose dual fixpoint contains an off-diagonal pair --
+    the set the cross-validation harness checks against."""
+    return sorted(
+        name
+        for name, mask in analysis.dual.net_values.items()
+        if mask & DIVERGENT
+    )
+
+
+def divergent_output_ports(analysis: ModuleAnalysis) -> List[Tuple[str, str]]:
+    """Output/inout ports that can print different values under the
+    two dialects; (port, example pairs) tuples."""
+    module = analysis.module
+    out: List[Tuple[str, str]] = []
+    for name in sorted(module.ports):
+        if module.ports[name].direction == "input":
+            continue
+        mask = analysis.dual.net_values[name] & DIVERGENT
+        if mask:
+            out.append((name, format_pair_mask(mask)))
+    return out
+
+
+def mux_select_x_sites(analysis: ModuleAnalysis) -> List[Tuple[str, str]]:
+    """MUX2 instances whose select can go X while the data legs are
+    not provably equal -- exactly where optimistic and pessimistic
+    X policies disagree.  Returns (instance, output net) pairs."""
+    module = analysis.module
+    out: List[Tuple[str, str]] = []
+    for name in sorted(module.instances):
+        inst = module.instances[name]
+        if inst.cell.footprint != "MUX2":
+            continue
+        select_mask = component_a(analysis.dual.net_values[inst.net_of("S")])
+        if not select_mask & XBIT:
+            continue
+        leg_a = component_a(analysis.dual.net_values[inst.net_of("A")])
+        leg_b = component_a(analysis.dual.net_values[inst.net_of("B")])
+        legs_equal = leg_a == leg_b and leg_a in (ZERO, ONE)
+        if not legs_equal:
+            out.append((name, inst.net_of(inst.cell.output_pins[0])))
+    return out
+
+
+def reconvergent_x_sites(
+    analysis: ModuleAnalysis,
+) -> List[Tuple[str, str, Tuple[str, ...]]]:
+    """Multi-input gates where one X source reconverges on two or more
+    pins -- where optimism can manufacture a known value one dialect
+    disagrees with.  Returns (instance, output net, shared sources)."""
+    module = analysis.module
+    out: List[Tuple[str, str, Tuple[str, ...]]] = []
+    for name in sorted(module.instances):
+        inst = module.instances[name]
+        if inst.cell.is_sequential or len(inst.cell.input_pins) < 2:
+            continue
+        taints = [
+            analysis.xtaint.net_values[inst.net_of(pin)]
+            for pin in inst.cell.input_pins
+        ]
+        shared: set[str] = set()
+        for i in range(len(taints)):
+            for j in range(i + 1, len(taints)):
+                shared |= taints[i] & taints[j]
+        if shared:
+            out.append((
+                name,
+                inst.net_of(inst.cell.output_pins[0]),
+                tuple(sorted(shared)),
+            ))
+    return out
+
+
+# -- zero-delay races -------------------------------------------------------
+
+def multi_driver_races(analysis: ModuleAnalysis) -> List[Tuple[str, str]]:
+    """Multi-driven nets whose settled value depends on event order.
+
+    The IR's representable contention is an instance output shorted
+    onto an input-port net; resolution is order-sensitive unless both
+    sources are provably the same constant (a port never is, under
+    binary stimulus).  Returns (net, detail) pairs.
+    """
+    module = analysis.module
+    out: List[Tuple[str, str]] = []
+    for name in sorted(module.nets):
+        net = module.nets[name]
+        if net.driver is None or net.driver_port is None:
+            continue
+        inst = module.instances[net.driver.instance]
+        domain = ConstantDomain(analysis.config_a)
+        driver_mask = domain.transfer(
+            inst,
+            tuple(
+                analysis.const.net_values[inst.net_of(pin)]
+                for pin in inst.cell.input_pins
+            ),
+        )
+        port_mask = BINARY
+        if driver_mask == port_mask and driver_mask in (ZERO, ONE):
+            continue  # both sources agree on one constant: benign
+        out.append((
+            name,
+            f"port {net.driver_port!r} {format_mask(port_mask)} vs "
+            f"{net.driver} {format_mask(driver_mask)}",
+        ))
+    return out
+
+
+def clock_path_races(module: Module) -> List[Tuple[str, str, str]]:
+    """Flop-to-flop same-root paths whose capture order is event-order
+    sensitive: one clock path crosses an ICG the other does not
+    (``gated``), or the two paths differ in inverter parity
+    (``inverted``).  Returns (src, dst, kind) triples.
+    """
+    from ..lint.domains import trace_control_source
+
+    analysis = analyze_module(module)
+    traces = {}
+    for flop in module.sequential_instances:
+        clock_pin = flop.cell.clock_pin
+        if clock_pin is not None:
+            traces[flop.name] = trace_control_source(
+                module, flop.net_of(clock_pin)
+            )
+    out: List[Tuple[str, str, str]] = []
+    for dst_name in sorted(traces):
+        dst = module.instances[dst_name]
+        data_pin = dst.cell.data_pin
+        if data_pin is None:
+            continue
+        dst_trace = traces[dst_name]
+        launch = analysis.launch.net_values[dst.net_of(data_pin)]
+        for src_name in sorted(launch):
+            src_trace = traces.get(src_name)
+            if src_trace is None:
+                continue
+            if (src_trace.root, src_trace.kind) != (
+                dst_trace.root, dst_trace.kind
+            ):
+                continue  # different roots: a CDC problem, not a race
+            if src_trace.inverted != dst_trace.inverted:
+                out.append((src_name, dst_name, "inverted"))
+            elif src_trace.through_gate != dst_trace.through_gate:
+                out.append((src_name, dst_name, "gated"))
+    return out
+
+
+# -- module summaries / parallel report -------------------------------------
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Canonical, picklable digest of one module's analyses."""
+
+    module: str
+    gates: int
+    nets: int
+    visits: int
+    stuck_nets: Tuple[Tuple[str, str], ...]
+    never_toggling: Tuple[Tuple[str, str], ...]
+    unobservable: Tuple[str, ...]
+    constant_cones: Tuple[Tuple[str, str, str], ...]
+    divergent_nets: Tuple[str, ...]
+    divergent_outputs: Tuple[Tuple[str, str], ...]
+    mux_select_x: Tuple[Tuple[str, str], ...]
+    reconvergent_x: Tuple[Tuple[str, str, Tuple[str, ...]], ...]
+    multi_driver_races: Tuple[Tuple[str, str], ...]
+    clock_races: Tuple[Tuple[str, str, str], ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "gates": self.gates,
+            "nets": self.nets,
+            "visits": self.visits,
+            "stuck_nets": [list(item) for item in self.stuck_nets],
+            "never_toggling": [list(item) for item in self.never_toggling],
+            "unobservable": list(self.unobservable),
+            "constant_cones": [list(item) for item in self.constant_cones],
+            "divergent_nets": list(self.divergent_nets),
+            "divergent_outputs": [
+                list(item) for item in self.divergent_outputs
+            ],
+            "mux_select_x": [list(item) for item in self.mux_select_x],
+            "reconvergent_x": [
+                [inst, net, list(sources)]
+                for inst, net, sources in self.reconvergent_x
+            ],
+            "multi_driver_races": [
+                list(item) for item in self.multi_driver_races
+            ],
+            "clock_races": [list(item) for item in self.clock_races],
+        }
+
+
+def summarize_module(module: Module) -> ModuleSummary:
+    """All analyses over one module as a canonical summary."""
+    analysis = analyze_module(module)
+    total_visits = (
+        analysis.const.visits + analysis.dual.visits
+        + analysis.xtaint.visits + analysis.launch.visits
+        + analysis.domains.visits
+    )
+    return ModuleSummary(
+        module=module.name,
+        gates=module.gate_count,
+        nets=len(module.nets),
+        visits=total_visits,
+        stuck_nets=tuple(stuck_nets(analysis)),
+        never_toggling=tuple(never_toggling_flops(analysis)),
+        unobservable=tuple(unobservable_instances(analysis)),
+        constant_cones=tuple(constant_cones(analysis)),
+        divergent_nets=tuple(divergent_nets(analysis)),
+        divergent_outputs=tuple(divergent_output_ports(analysis)),
+        mux_select_x=tuple(mux_select_x_sites(analysis)),
+        reconvergent_x=tuple(reconvergent_x_sites(analysis)),
+        multi_driver_races=tuple(multi_driver_races(analysis)),
+        clock_races=tuple(clock_path_races(module)),
+    )
+
+
+@dataclass
+class AnalysisReport:
+    """Design-level roll-up; canonical JSON is worker-count invariant."""
+
+    design: str
+    summaries: List[ModuleSummary] = field(default_factory=list)
+
+    @property
+    def total_findings(self) -> int:
+        return sum(
+            len(s.stuck_nets) + len(s.never_toggling) + len(s.unobservable)
+            + len(s.constant_cones) + len(s.divergent_outputs)
+            + len(s.mux_select_x) + len(s.reconvergent_x)
+            + len(s.multi_driver_races) + len(s.clock_races)
+            for s in self.summaries
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "modules": [
+                s.to_dict()
+                for s in sorted(self.summaries, key=lambda s: s.module)
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+
+def _summary_task(module: Module) -> ModuleSummary:
+    """Worker: self-contained per-module analysis (picklable)."""
+    return summarize_module(module)
+
+
+def analyze_modules(
+    modules: Sequence[Module],
+    *,
+    design: str = "design",
+    workers: int | None = None,
+) -> AnalysisReport:
+    """Analyse every module, fanning out across processes.
+
+    Each summary is a pure function of its module and results merge in
+    task order, so the report (and its canonical JSON) is byte-identical
+    for any ``workers`` value.
+    """
+    summaries = fanout(
+        _summary_task, list(modules), workers=workers,
+        stage="analysis.modules",
+    )
+    return AnalysisReport(design=design, summaries=list(summaries))

@@ -1,0 +1,389 @@
+"""Abstract domains for the netlist dataflow engine.
+
+Every domain assigns each net an element of a finite join-semilattice;
+the engine (:mod:`repro.analysis.engine`) computes the least fixpoint
+of the transfer functions.  Three domain families are provided:
+
+* :class:`ConstantDomain` -- the value of a net is a *set* of possible
+  four-value logic levels, encoded as a 3-bit mask over ``{0, 1, X}``
+  (``Z`` folds into ``X``, exactly as gate inputs do).  The classic
+  flat constant lattice ``0 / 1 / X / top`` embeds into this powerset:
+  ``{0}`` and ``{1}`` are the constants, ``{X}`` is "unknown", and any
+  larger set is top-like.  Keeping the full set preserves precision
+  through joins (``{0} | {1}`` stays distinguishable from ``{X}``).
+
+* :class:`DualConstantDomain` -- the value of a net is a set of
+  *pairs* ``(value under dialect A, value under dialect B)``, encoded
+  as a 9-bit mask.  Both components are driven by the *same* stimulus;
+  they can differ only where the dialects' semantics differ (today:
+  the power-on value of an un-reset flop, and ``x_pessimism``).  A net
+  whose reachable set contains an off-diagonal pair is a *divergence
+  candidate*: the two simulators can print different values for it.
+
+* :class:`TaintDomain` -- the value of a net is a frozen set of source
+  labels, unioned through every gate.  Specialised three ways by its
+  seeds: X-source taint (which power-on X generators reach a net),
+  single-cycle flop-launch taint (which flops reach a net through
+  combinational logic only -- the race detector's launch sets) and
+  clock-domain reachability (which clock domains' state reaches a
+  net).
+
+All transfer functions enumerate concrete input combinations through
+:func:`repro.sim.evaluate_cell` -- the same code the simulator runs --
+so the abstraction is correct by construction with respect to the
+simulator, not a hand-written re-statement of gate semantics.
+
+Modelling assumptions (shared with the cross-validation harness in
+:mod:`repro.verification.crossval`):
+
+* **binary stimulus** -- input and inout ports are driven to 0/1 by
+  the testbench, never X/Z, and identically under both dialects;
+* **reset discipline** -- a flop whose reset net *can* assert is reset
+  before observation starts, so its dialect pair starts at ``(0, 0)``.
+  A flop with no reset pin, or whose reset is tied off, powers up at
+  ``(uninit_A, uninit_B)`` -- the paper's Section-3 divergence source.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, FrozenSet, Mapping, Tuple
+
+from ..netlist import Logic
+from ..netlist.netlist import Instance, Net
+from ..sim import SimulatorConfig, VENDOR_A_SIM, VENDOR_B_SIM, evaluate_cell
+
+# -- value encodings --------------------------------------------------------
+
+#: Concrete levels a settled net can hold, in mask-bit order (Z folds
+#: into X on every gate input, so three levels suffice).
+LEVELS: Tuple[Logic, Logic, Logic] = (Logic.ZERO, Logic.ONE, Logic.X)
+
+_LEVEL_INDEX: dict[Logic, int] = {
+    Logic.ZERO: 0, Logic.ONE: 1, Logic.X: 2, Logic.Z: 2,
+}
+
+#: Single-dialect masks.
+BOT: int = 0
+ZERO: int = 1 << 0
+ONE: int = 1 << 1
+XBIT: int = 1 << 2
+TOP: int = ZERO | ONE | XBIT
+BINARY: int = ZERO | ONE
+
+#: Dual-dialect pair masks (bit ``a * 3 + b`` is the pair ``(a, b)``).
+PAIR_TOP: int = (1 << 9) - 1
+#: Off-diagonal pairs: dialect A and dialect B disagree.
+DIVERGENT: int = sum(
+    1 << (a * 3 + b) for a in range(3) for b in range(3) if a != b
+)
+
+
+def level_bit(value: Logic) -> int:
+    """Mask bit for one concrete logic level."""
+    return 1 << _LEVEL_INDEX[value]
+
+
+def pair_bit(a: Logic, b: Logic) -> int:
+    """Mask bit for one (dialect A, dialect B) value pair."""
+    return 1 << (_LEVEL_INDEX[a] * 3 + _LEVEL_INDEX[b])
+
+
+def mask_levels(mask: int) -> Tuple[Logic, ...]:
+    """Concrete levels present in a single-dialect mask, in bit order."""
+    return tuple(LEVELS[i] for i in range(3) if mask & (1 << i))
+
+
+def mask_pairs(mask: int) -> Tuple[Tuple[Logic, Logic], ...]:
+    """Concrete (A, B) pairs present in a pair mask, in bit order."""
+    return tuple(
+        (LEVELS[i // 3], LEVELS[i % 3]) for i in range(9) if mask & (1 << i)
+    )
+
+
+def component_a(mask: int) -> int:
+    """Project a pair mask onto the dialect-A levels."""
+    out = 0
+    for i in range(9):
+        if mask & (1 << i):
+            out |= 1 << (i // 3)
+    return out
+
+
+def component_b(mask: int) -> int:
+    """Project a pair mask onto the dialect-B levels."""
+    out = 0
+    for i in range(9):
+        if mask & (1 << i):
+            out |= 1 << (i % 3)
+    return out
+
+
+def diagonal(mask: int) -> int:
+    """Lift a single-dialect mask onto identical (v, v) pairs."""
+    out = 0
+    for i in range(3):
+        if mask & (1 << i):
+            out |= 1 << (i * 3 + i)
+    return out
+
+
+def format_mask(mask: int) -> str:
+    """Human-readable single-dialect mask, e.g. ``{0,x}``."""
+    return "{" + ",".join(str(v) for v in mask_levels(mask)) + "}"
+
+
+def format_pair_mask(mask: int) -> str:
+    """Human-readable pair mask, e.g. ``{(x,0),(1,1)}``."""
+    return "{" + ",".join(
+        f"({a},{b})" for a, b in mask_pairs(mask)
+    ) + "}"
+
+
+# -- domains ----------------------------------------------------------------
+
+class ConstantDomain:
+    """Powerset-of-levels constant propagation for one dialect policy.
+
+    ``uninit_mask`` is the power-on value set of an un-reset flop
+    (default: both dialects' power-on levels, so derived facts hold
+    under either simulator).
+    """
+
+    bottom: int = BOT
+
+    def __init__(
+        self,
+        config: SimulatorConfig | None = None,
+        *,
+        uninit_mask: int = XBIT | ZERO,
+        port_mask: int = BINARY,
+    ) -> None:
+        self.config = config or SimulatorConfig()
+        self.uninit_mask = uninit_mask
+        self.port_mask = port_mask
+        self._transfer_memo: dict[tuple, int] = {}
+
+    def input_value(self, port: str) -> int:
+        return self.port_mask
+
+    def undriven_value(self, net: Net) -> int:
+        return XBIT
+
+    def transfer(self, inst: Instance, input_masks: Tuple[int, ...]) -> int:
+        key = (inst.cell.name, input_masks)
+        cached = self._transfer_memo.get(key)
+        if cached is not None:
+            return cached
+        cell = inst.cell
+        pins = cell.input_pins
+        out = BOT
+        for combo in product(*(mask_levels(m) for m in input_masks)):
+            result = evaluate_cell(cell, dict(zip(pins, combo)), self.config)
+            out |= level_bit(result)
+        self._transfer_memo[key] = out
+        return out
+
+    def flop_initial(self, inst: Instance) -> int:
+        return self.uninit_mask
+
+    def flop_next(
+        self, inst: Instance, pins: Mapping[str, int], current: int
+    ) -> int:
+        cell = inst.cell
+        if cell.is_latch:
+            # Transparent or holding: D now, or held state (the engine
+            # joins ``current`` in, so returning D covers both).
+            return pins.get(cell.data_pin or "", TOP)
+        data = BOT
+        se_mask = (
+            pins[cell.scan_enable_pin] if cell.scan_enable_pin else ZERO
+        )
+        for se in mask_levels(se_mask):
+            if se is Logic.ONE:
+                data |= pins.get(cell.scan_in_pin or "", BOT)
+            elif se is Logic.ZERO:
+                data |= pins.get(cell.data_pin or "", BOT)
+            else:
+                data |= XBIT
+        if cell.reset_pin is None:
+            return data
+        out = BOT
+        for reset in mask_levels(pins[cell.reset_pin]):
+            if reset is Logic.ZERO:
+                out |= ZERO
+            elif reset is Logic.X:
+                out |= XBIT
+            else:
+                out |= data
+        return out
+
+
+class DualConstantDomain:
+    """Reachable (dialect A, dialect B) value pairs under one stimulus.
+
+    ``reset_assured`` names the flops whose reset net can assert; by
+    the reset-discipline assumption those start at ``(0, 0)``.  Every
+    other flop starts at the dialects' respective power-on values --
+    the only place an off-diagonal pair can enter the system.
+    """
+
+    bottom: int = BOT
+
+    def __init__(
+        self,
+        config_a: SimulatorConfig = VENDOR_A_SIM,
+        config_b: SimulatorConfig = VENDOR_B_SIM,
+        *,
+        reset_assured: FrozenSet[str] = frozenset(),
+    ) -> None:
+        self.config_a = config_a
+        self.config_b = config_b
+        self.reset_assured = reset_assured
+        self._transfer_memo: dict[tuple, int] = {}
+        self._next_memo: dict[tuple, int] = {}
+
+    def input_value(self, port: str) -> int:
+        # Binary stimulus, identical under both dialects.
+        return pair_bit(Logic.ZERO, Logic.ZERO) | pair_bit(Logic.ONE, Logic.ONE)
+
+    def undriven_value(self, net: Net) -> int:
+        # Both dialects read a floating net as X: identical, benign.
+        return pair_bit(Logic.X, Logic.X)
+
+    def transfer(self, inst: Instance, input_masks: Tuple[int, ...]) -> int:
+        key = (inst.cell.name, input_masks)
+        cached = self._transfer_memo.get(key)
+        if cached is not None:
+            return cached
+        cell = inst.cell
+        pins = cell.input_pins
+        out = BOT
+        for combo in product(*(mask_pairs(m) for m in input_masks)):
+            result_a = evaluate_cell(
+                cell, {p: v[0] for p, v in zip(pins, combo)}, self.config_a
+            )
+            result_b = evaluate_cell(
+                cell, {p: v[1] for p, v in zip(pins, combo)}, self.config_b
+            )
+            out |= pair_bit(result_a, result_b)
+        self._transfer_memo[key] = out
+        return out
+
+    def flop_initial(self, inst: Instance) -> int:
+        if inst.name in self.reset_assured:
+            return pair_bit(Logic.ZERO, Logic.ZERO)
+        return pair_bit(
+            self.config_a.uninitialized_flop, self.config_b.uninitialized_flop
+        )
+
+    def _captured_data(
+        self, se_mask: int, d_mask: int, si_mask: int
+    ) -> int:
+        """Pairs capturable through the scan-enable mux."""
+        data = BOT
+        x_pair = pair_bit(Logic.X, Logic.X)
+        for se_a, se_b in mask_pairs(se_mask):
+            if se_a is se_b:
+                if se_a is Logic.ONE:
+                    data |= si_mask
+                elif se_a is Logic.ZERO:
+                    data |= d_mask
+                else:
+                    data |= x_pair
+            else:
+                # The dialects select different sources: correlation is
+                # lost, so take the component-wise cross product.
+                src = {Logic.ZERO: d_mask, Logic.ONE: si_mask}
+                comp_a = (component_a(src[se_a]) if se_a in src else XBIT)
+                comp_b = (component_b(src[se_b]) if se_b in src else XBIT)
+                for va in mask_levels(comp_a):
+                    for vb in mask_levels(comp_b):
+                        data |= pair_bit(va, vb)
+        return data
+
+    def flop_next(
+        self, inst: Instance, pins: Mapping[str, int], current: int
+    ) -> int:
+        cell = inst.cell
+        if cell.is_latch:
+            return pins.get(cell.data_pin or "", PAIR_TOP)
+        d_mask = pins.get(cell.data_pin or "", BOT)
+        si_mask = pins.get(cell.scan_in_pin or "", BOT)
+        se_mask = (
+            pins[cell.scan_enable_pin]
+            if cell.scan_enable_pin
+            else pair_bit(Logic.ZERO, Logic.ZERO)
+        )
+        rn_mask = pins[cell.reset_pin] if cell.reset_pin else -1
+        key = (cell.name, se_mask, d_mask, si_mask, rn_mask)
+        cached = self._next_memo.get(key)
+        if cached is not None:
+            return cached
+        data = self._captured_data(se_mask, d_mask, si_mask)
+        if cell.reset_pin is None:
+            self._next_memo[key] = data
+            return data
+        out = BOT
+        for rn_a, rn_b in mask_pairs(pins[cell.reset_pin]):
+            for da, db in mask_pairs(data):
+                na = Logic.ZERO if rn_a is Logic.ZERO else (
+                    Logic.X if rn_a is Logic.X else da)
+                nb = Logic.ZERO if rn_b is Logic.ZERO else (
+                    Logic.X if rn_b is Logic.X else db)
+                out |= pair_bit(na, nb)
+        self._next_memo[key] = out
+        return out
+
+
+Taint = FrozenSet[str]
+
+_EMPTY: Taint = frozenset()
+
+
+class TaintDomain:
+    """Set-union source tracking; seeds make it X-taint, launch sets
+    or clock-domain reachability."""
+
+    bottom: Taint = _EMPTY
+
+    def __init__(
+        self,
+        *,
+        flop_seed: Callable[[Instance], Taint] = lambda inst: _EMPTY,
+        undriven_seed: Callable[[Net], Taint] = lambda net: _EMPTY,
+        port_seed: Callable[[str], Taint] = lambda port: _EMPTY,
+        through_flops: bool = False,
+    ) -> None:
+        self.flop_seed = flop_seed
+        self.undriven_seed = undriven_seed
+        self.port_seed = port_seed
+        self.through_flops = through_flops
+
+    def input_value(self, port: str) -> Taint:
+        return self.port_seed(port)
+
+    def undriven_value(self, net: Net) -> Taint:
+        return self.undriven_seed(net)
+
+    def transfer(self, inst: Instance, input_masks: Tuple[Taint, ...]) -> Taint:
+        out: Taint = _EMPTY
+        for taint in input_masks:
+            out |= taint
+        return out
+
+    def flop_initial(self, inst: Instance) -> Taint:
+        return self.flop_seed(inst)
+
+    def flop_next(
+        self, inst: Instance, pins: Mapping[str, Taint], current: Taint
+    ) -> Taint:
+        if not self.through_flops:
+            return _EMPTY
+        cell = inst.cell
+        out: Taint = _EMPTY
+        for pin in (cell.data_pin, cell.scan_in_pin, cell.scan_enable_pin,
+                    cell.reset_pin):
+            if pin is not None:
+                out |= pins.get(pin, _EMPTY)
+        return out

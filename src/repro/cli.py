@@ -18,9 +18,13 @@ The ``lint`` command runs the rule families of :mod:`repro.lint` over
 the generated DSC design database: structural netlist checks (STR-*),
 clock-domain-crossing analysis (CDC-*), static X-source propagation
 (X-*), scan design rules (SCAN-*) and the SoC memory-map audit
-(MAP-*).  ``--waivers FILE`` applies a JSON waiver file; ``--fail-on``
-sets the exit-status threshold; ``--json`` emits the canonical report
-(byte-identical for any ``--workers`` value).
+(MAP-*), plus the dataflow-engine families of PR 4: constant
+propagation (CONST-*), dead logic (DEAD-*), dialect divergence
+(DIV-*) and zero-delay races (RACE-*).  ``--waivers FILE`` applies a
+JSON waiver file; ``--fail-on`` sets the exit-status threshold;
+``--json`` emits the canonical report (byte-identical for any
+``--workers`` value); ``--sarif FILE`` additionally writes SARIF 2.1.0
+for GitHub code scanning.
 """
 
 from __future__ import annotations
@@ -200,6 +204,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         workers=args.workers,
         waivers=waivers,
     )
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(report.to_sarif_json())
+            handle.write("\n")
     print(report.to_json() if args.json else report.format_report())
     return 1 if report.failed(args.fail_on) else 0
 
@@ -307,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="lowest severity that fails the run")
     lint.add_argument("--json", action="store_true",
                       help="emit the canonical JSON report")
+    lint.add_argument("--sarif", default="", metavar="FILE",
+                      help="also write the report as SARIF 2.1.0 "
+                           "(for GitHub code scanning)")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

@@ -18,7 +18,7 @@ canonical JSON bytes -- is identical for any ``workers`` value.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,7 @@ the structural half (toggle/flop coverage) lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, MutableMapping, Sequence
 
 

@@ -20,7 +20,11 @@ import numpy as np
 from ..netlist import Module
 from ..perf import stage_timer
 from .faults import Fault, collapse_faults, enumerate_faults
-from .faultsim import CombinationalView, FaultSimResult, random_pattern_fault_sim
+from .faultsim import (
+    CombinationalView,
+    FaultSimResult,
+    random_pattern_fault_sim,
+)
 from .podem import Podem
 
 

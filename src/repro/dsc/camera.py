@@ -9,7 +9,7 @@ SD card -- with the shot-to-shot time budget the paper's requirement
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,7 +16,7 @@ how many passes a block needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netlist import Module
 from ..sta import TimingAnalyzer, TimingConstraints

@@ -33,6 +33,7 @@ from .domains import (
     infer_reset_domains,
     trace_control_source,
 )
+from .sarif import report_to_sarif, report_to_sarif_json
 from .scandrc import SCAN_RULE_IDS, check_scan_drc
 from .socmap import SocView, SocWindow, soc_view
 from .structural import structural_problems
@@ -60,6 +61,8 @@ __all__ = [
     "infer_clock_domains",
     "infer_reset_domains",
     "trace_control_source",
+    "report_to_sarif",
+    "report_to_sarif_json",
     "SCAN_RULE_IDS",
     "check_scan_drc",
     "SocView",

@@ -149,7 +149,14 @@ def load_builtin_rules() -> None:
     processes, which unpickle the task function without importing the
     ``repro.lint`` package itself).
     """
-    from . import cdc, scandrc, socmap, structural, xsource  # noqa: F401
+    from . import (  # noqa: F401
+        analysis,
+        cdc,
+        scandrc,
+        socmap,
+        structural,
+        xsource,
+    )
 
 
 def all_rules(scope: str | None = None) -> list[Rule]:
@@ -351,6 +358,18 @@ class LintReport:
     def to_json(self) -> str:
         """Canonical JSON: byte-identical across worker counts."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def to_sarif(self) -> dict:
+        """SARIF 2.1.0 log object (see :mod:`repro.lint.sarif`)."""
+        from .sarif import report_to_sarif
+
+        return report_to_sarif(self)
+
+    def to_sarif_json(self) -> str:
+        """Canonical SARIF 2.1.0 JSON for code-scanning upload."""
+        from .sarif import report_to_sarif_json
+
+        return report_to_sarif_json(self)
 
     def format_report(self) -> str:
         lines = [

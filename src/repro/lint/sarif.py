@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 export of a :class:`~repro.lint.core.LintReport`.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests, so ``python -m repro lint --sarif out.sarif`` plus an
+``upload-sarif`` CI step annotates pull requests with lint findings.
+
+Mapping decisions:
+
+* each registered rule becomes a ``reportingDescriptor``; severities
+  map ``ERROR -> error``, ``WARNING -> warning``, ``INFO -> note``;
+* a finding's stable fingerprint lands in ``partialFingerprints``
+  (key ``reproLintFingerprint/v1``), so code-scanning alert identity
+  survives message rewording exactly like waivers do;
+* the module/subject pair is a ``logicalLocation`` -- netlists have no
+  source files, so no ``physicalLocation`` is emitted;
+* waived findings are included with a ``suppression`` of kind
+  ``external`` carrying the waiver reason, matching how code scanning
+  displays dismissed alerts.
+
+The output is canonical (sorted keys, stable ordering): byte-identical
+for the same report no matter how the lint engine was parallelised.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import Finding, LintReport, Severity, Waiver, get_rule
+
+#: SARIF severity levels by lint severity.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _result(finding: Finding, waiver: Waiver | None = None) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": finding.fingerprint,
+        },
+        "locations": [
+            {
+                "logicalLocations": [
+                    {
+                        "name": finding.subject,
+                        "fullyQualifiedName":
+                            f"{finding.module}::{finding.subject}",
+                        "kind": "object",
+                    }
+                ]
+            }
+        ],
+        "properties": {
+            "category": finding.category,
+            "module": finding.module,
+        },
+    }
+    if waiver is not None:
+        result["suppressions"] = [
+            {"kind": "external", "justification": waiver.reason}
+        ]
+    return result
+
+
+def report_to_sarif(report: LintReport) -> dict:
+    """The full SARIF 2.1.0 log object for one lint report."""
+    entries = [(f, None) for f in report.findings]
+    entries += [(f, w) for f, w in report.waived]
+    entries.sort(key=lambda pair: pair[0].sort_key())
+
+    rule_ids = sorted({f.rule_id for f, _ in entries})
+    descriptors = []
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        descriptors.append({
+            "id": rule.id,
+            "name": rule.id.replace("-", ""),
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            "properties": {"category": rule.category},
+        })
+
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://github.com/repro/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "automationDetails": {"id": f"repro-lint/{report.design}"},
+                "results": [_result(f, w) for f, w in entries],
+            }
+        ],
+    }
+
+
+def report_to_sarif_json(report: LintReport) -> str:
+    """Canonical SARIF JSON (sorted keys, stable result order)."""
+    return json.dumps(report_to_sarif(report), sort_keys=True, indent=1)

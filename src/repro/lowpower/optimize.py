@@ -10,7 +10,7 @@ from dataclasses import dataclass, field
 
 from ..netlist import Module
 from ..sta import TimingAnalyzer, TimingConstraints
-from .power import PowerReport, estimate_power
+from .power import estimate_power
 
 
 # ---------------------------------------------------------------------------

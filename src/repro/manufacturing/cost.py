@@ -11,7 +11,6 @@ computation, not an assertion.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from .wafer import WaferSpec, gross_dies_per_wafer

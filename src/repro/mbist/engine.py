@@ -16,7 +16,7 @@ from typing import Mapping
 import numpy as np
 
 from .bist import BistPlan, MemoryMacro
-from .march import MarchTest, run_march
+from .march import run_march
 from .memory import SramModel, random_fault
 
 

@@ -17,7 +17,7 @@ Values are representative textbook numbers, not foundry data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from .logic import (

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from .library import Cell, StdCellLibrary
 
@@ -38,10 +38,10 @@ class Port:
     """A module-level port."""
 
     name: str
-    direction: str  # "input" | "output"
+    direction: str  # "input" | "output" | "inout"
 
     def __post_init__(self) -> None:
-        if self.direction not in ("input", "output"):
+        if self.direction not in ("input", "output", "inout"):
             raise NetlistError(f"bad port direction {self.direction!r}")
 
 
@@ -101,9 +101,9 @@ class Module:
         port = Port(name, direction)
         self.ports[name] = port
         net = self.add_net(name)
-        if direction == "input":
+        if direction in ("input", "inout"):
             net.driver_port = name
-        else:
+        if direction in ("output", "inout"):
             net.load_ports.append(name)
         self._invalidate()
         return port

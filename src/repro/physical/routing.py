@@ -11,7 +11,7 @@ P&R team watches when closing a 240K-gate die.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netlist import Module
 from .placement import Placement

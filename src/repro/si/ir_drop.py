@@ -11,7 +11,7 @@ the fix the paper's Section 4 names ("de-coupling cell insertion").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse

@@ -7,6 +7,7 @@ from .simulator import (
     VENDOR_A_SIM,
     VENDOR_B_SIM,
     diff_traces,
+    evaluate_cell,
 )
 from .vcd import (
     escape_signal_name,
@@ -24,6 +25,7 @@ __all__ = [
     "VENDOR_A_SIM",
     "VENDOR_B_SIM",
     "diff_traces",
+    "evaluate_cell",
     "escape_signal_name",
     "load_vcd",
     "read_vcd",

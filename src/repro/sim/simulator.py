@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..netlist import Logic, Module
+from ..netlist.library import Cell
 from ..netlist.netlist import Instance, NetlistError
 
 
@@ -51,6 +52,22 @@ VENDOR_A_SIM = SimulatorConfig(name="vendor_a_4state", uninitialized_flop=Logic.
 VENDOR_B_SIM = SimulatorConfig(
     name="vendor_b_2state", uninitialized_flop=Logic.ZERO
 )
+
+
+def evaluate_cell(
+    cell: Cell, inputs: Mapping[str, Logic], config: SimulatorConfig
+) -> Logic:
+    """Evaluate one combinational cell under a dialect's X policy.
+
+    This is the single source of truth for dialect-sensitive gate
+    semantics: the simulator's inner loop and the static analysis
+    engine (:mod:`repro.analysis`) both call it, so a policy change
+    (e.g. ``x_pessimism``) cannot drift between the two.
+    """
+    if config.x_pessimism and cell.footprint == "MUX2":
+        if not inputs["S"].is_known:
+            return Logic.X
+    return cell.evaluate(inputs)
 
 
 @dataclass
@@ -153,10 +170,7 @@ class LogicSimulator:
         inputs = {
             pin: self.net_values[inst.net_of(pin)] for pin in cell.input_pins
         }
-        if self.config.x_pessimism and cell.footprint == "MUX2":
-            if not inputs["S"].is_known:
-                return Logic.X
-        return cell.evaluate(inputs)
+        return evaluate_cell(cell, inputs, self.config)
 
     def _propagate_combinational(self) -> None:
         values = self.net_values

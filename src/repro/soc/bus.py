@@ -16,7 +16,7 @@ integration bugs the paper's team hunted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Protocol
 

@@ -12,6 +12,11 @@ from .regression import (
     cross_simulator_check,
     run_regression,
 )
+from .crossval import (
+    DivergenceValidation,
+    cross_validate_divergence,
+    observed_divergent_nets,
+)
 from .emulation import (
     CampaignPlan,
     CampaignSpec,
@@ -33,6 +38,9 @@ __all__ = [
     "RegressionReport",
     "cross_simulator_check",
     "run_regression",
+    "DivergenceValidation",
+    "cross_validate_divergence",
+    "observed_divergent_nets",
     "CampaignPlan",
     "CampaignSpec",
     "EMULATOR",

@@ -1,0 +1,208 @@
+"""Cross-validation of static divergence predictions against real
+dual-dialect simulation.
+
+The DIV rules of :mod:`repro.lint.analysis` *predict* which nets the
+two simulator dialects can disagree on.  This harness closes the loop:
+it runs the module under both dialects with identical stimulus, records
+every net that actually diverged, and scores the prediction --
+
+* **precision** -- predicted nets that really diverged (a false alarm
+  is an imprecise but sound prediction);
+* **recall** -- diverged nets that were predicted.  Recall below 1.0
+  is a *soundness bug*: the analysis claimed "proven safe" about a net
+  the simulators disagree on.  The seeded-bug corpus in
+  ``tests/test_analysis.py`` pins both at 1.0.
+
+The stimulus protocol matches the analysis's modelling assumptions
+(binary inputs, reset discipline):
+
+1. every input port is driven to a random binary value; the clock is
+   held low and scan controls low;
+2. if the module has a reset port it is asserted for the very first
+   vector (the async reset settles before any sampling), then held
+   deasserted -- flops with no working reset keep their power-on value;
+3. several *settle vectors* are applied and sampled before the first
+   clock edge: power-on divergence is widest before uninitialised
+   flops get overwritten, and varying the data inputs exercises the
+   combinational cones around the divergent state;
+4. then ``cycles`` clocked vectors run, sampling every net after each
+   edge.  Multiple seeds union their observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from ..netlist import Module
+from ..sim import LogicSimulator, SimulatorConfig, VENDOR_A_SIM, VENDOR_B_SIM
+
+
+def observed_divergent_nets(
+    module: Module,
+    *,
+    cycles: int = 8,
+    settle_vectors: int = 4,
+    seed: int = 0,
+    clock_port: str = "clk",
+    reset_port: str = "rst_n",
+    config_a: SimulatorConfig = VENDOR_A_SIM,
+    config_b: SimulatorConfig = VENDOR_B_SIM,
+) -> Set[str]:
+    """Nets that actually differed between the two dialects."""
+    sim_a = LogicSimulator(module, config_a)
+    sim_b = LogicSimulator(module, config_b)
+    rng = np.random.default_rng(seed)
+
+    ties = {}
+    if clock_port in module.ports:
+        ties[clock_port] = 0
+    for name, port in module.ports.items():
+        if port.direction == "input" and (
+            name.startswith("scan_") or name == "scan_en"
+        ):
+            ties[name] = 0
+    data_ports = [
+        name
+        for name, port in module.ports.items()
+        if port.direction == "input"
+        and name not in ties and name != reset_port
+    ]
+    has_reset = (
+        reset_port in module.ports
+        and module.ports[reset_port].direction == "input"
+    )
+
+    divergent: Set[str] = set()
+
+    def snapshot() -> None:
+        values_a, values_b = sim_a.net_values, sim_b.net_values
+        for net in module.nets:
+            if values_a[net] is not values_b[net]:
+                divergent.add(net)
+
+    def apply(vector: dict) -> None:
+        for sim in (sim_a, sim_b):
+            sim.set_inputs(vector)
+            sim.evaluate()
+
+    # Power-on settle phase: reset discipline first, then a few data
+    # vectors sampled before any clock edge.
+    for index in range(max(1, settle_vectors)):
+        vector = {name: int(rng.integers(0, 2)) for name in data_ports}
+        vector.update(ties)
+        if has_reset:
+            vector[reset_port] = 0 if index == 0 else 1
+        apply(vector)
+        snapshot()
+
+    # Clocked phase.
+    can_clock = (
+        clock_port in module.ports
+        and module.ports[clock_port].direction == "input"
+    )
+    for _ in range(cycles):
+        vector = {name: int(rng.integers(0, 2)) for name in data_ports}
+        vector.update(ties)
+        if has_reset:
+            vector[reset_port] = 1
+        apply(vector)
+        if can_clock:
+            sim_a.clock_edge(clock_port)
+            sim_b.clock_edge(clock_port)
+        snapshot()
+    return divergent
+
+
+@dataclass(frozen=True)
+class DivergenceValidation:
+    """Scored comparison of predicted vs observed divergence."""
+
+    module: str
+    predicted: Tuple[str, ...]
+    observed: Tuple[str, ...]
+
+    @property
+    def confirmed(self) -> Tuple[str, ...]:
+        observed = set(self.observed)
+        return tuple(n for n in self.predicted if n in observed)
+
+    @property
+    def false_alarms(self) -> Tuple[str, ...]:
+        """Predicted but never observed (imprecision, not unsoundness)."""
+        observed = set(self.observed)
+        return tuple(n for n in self.predicted if n not in observed)
+
+    @property
+    def escapes(self) -> Tuple[str, ...]:
+        """Observed but not predicted: a false 'proven safe' claim."""
+        predicted = set(self.predicted)
+        return tuple(n for n in self.observed if n not in predicted)
+
+    @property
+    def precision(self) -> float:
+        if not self.predicted:
+            return 1.0
+        return len(self.confirmed) / len(self.predicted)
+
+    @property
+    def recall(self) -> float:
+        if not self.observed:
+            return 1.0
+        return len(self.confirmed) / len(self.observed)
+
+    @property
+    def sound(self) -> bool:
+        return not self.escapes
+
+    def format_report(self) -> str:
+        lines = [
+            f"Divergence cross-validation for {self.module}",
+            f"  predicted nets : {len(self.predicted)}",
+            f"  observed nets  : {len(self.observed)}",
+            f"  precision      : {self.precision:.2f}",
+            f"  recall         : {self.recall:.2f}",
+            f"  sound          : {self.sound}",
+        ]
+        if self.false_alarms:
+            lines.append("  false alarms   : "
+                         + ", ".join(self.false_alarms))
+        if self.escapes:
+            lines.append("  ESCAPES        : " + ", ".join(self.escapes))
+        return "\n".join(lines)
+
+
+def cross_validate_divergence(
+    module: Module,
+    *,
+    cycles: int = 8,
+    settle_vectors: int = 4,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    clock_port: str = "clk",
+    reset_port: str = "rst_n",
+    config_a: SimulatorConfig = VENDOR_A_SIM,
+    config_b: SimulatorConfig = VENDOR_B_SIM,
+) -> DivergenceValidation:
+    """Predict, simulate under both dialects, and score."""
+    from ..analysis import analyze_module, divergent_nets
+
+    predicted = divergent_nets(analyze_module(module, config_a, config_b))
+    observed: Set[str] = set()
+    for seed in seeds:
+        observed |= observed_divergent_nets(
+            module,
+            cycles=cycles,
+            settle_vectors=settle_vectors,
+            seed=seed,
+            clock_port=clock_port,
+            reset_port=reset_port,
+            config_a=config_a,
+            config_b=config_b,
+        )
+    return DivergenceValidation(
+        module=module.name,
+        predicted=tuple(predicted),
+        observed=tuple(sorted(observed)),
+    )

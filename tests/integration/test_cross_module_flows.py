@@ -6,16 +6,14 @@ import io
 import numpy as np
 import pytest
 
-from repro.netlist import Logic, counter, make_default_library, pipeline_block
+from repro.netlist import counter, make_default_library, pipeline_block
 from repro.sim import LogicSimulator, save_vcd, write_vcd
 from repro.dft import (
     CombinationalView,
     enumerate_faults,
     insert_scan,
     random_pattern_fault_sim,
-    simulate_single_pattern,
 )
-from repro.dft.faults import Fault
 from repro.sta import TimingAnalyzer, TimingConstraints
 from repro.physical import AnnealingPlacer
 from repro.eco import close_timing, sprinkle_spare_cells, \

@@ -1,10 +1,9 @@
 """Coverage for public APIs not exercised elsewhere."""
 
-import numpy as np
 import pytest
 
 from repro.netlist import Logic, counter, make_default_library
-from repro.sim import LogicSimulator, Trace
+from repro.sim import LogicSimulator
 from repro.manufacturing import initial_ramp_state, simulate_lot
 from repro.soc import DmaDescriptor, DscSoc, MEMORY_MAP
 from repro.eco import ChangeKind, DesignDatabase

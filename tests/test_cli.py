@@ -111,3 +111,83 @@ class TestCommands:
                      "--rules", "structural,socmap"]) == 0
         out = capsys.readouterr().out
         assert "rules run" in out
+
+
+class TestLintExitCodes:
+    """The --fail-on threshold must look only at *unwaived* findings.
+
+    Regression for the exit-code matrix with a design whose errors are
+    all waived but whose warnings are not: ``--fail-on error`` passes,
+    ``--fail-on warning``/``info`` fail, ``--fail-on none`` passes.
+    """
+
+    @pytest.fixture()
+    def seeded_targets(self, monkeypatch, tmp_path):
+        from repro.lint import dsc_lint_targets
+        from repro.netlist import Module, PinRef, make_default_library
+
+        lib = make_default_library(0.25)
+        m = Module("seeded", lib)
+        m.add_port("a", "input")
+        m.add_port("unused", "input")  # STR-002/STR-006 warnings
+        m.add_port("y", "output")
+        m.add_instance("u0", "INV_X1", {"A": "a", "Y": "y"})
+        m.nets["a"].driver = PinRef("u0", "Y")  # STR-005 error
+
+        real = dsc_lint_targets(scale=0.005)
+
+        def fake_targets(**kwargs):
+            return type(real)(modules=[m], soc=real.soc,
+                              catalog=real.catalog, binding=real.binding)
+
+        monkeypatch.setattr("repro.lint.dsc_lint_targets", fake_targets)
+        waivers = tmp_path / "waivers.json"
+        waivers.write_text(
+            '{"waivers": [{"reason": "known short", "rule": "STR-005"}]}'
+        )
+        return str(waivers)
+
+    def test_waived_error_passes_fail_on_error(self, seeded_targets,
+                                               capsys):
+        assert main(["lint", "--rules", "structural",
+                     "--waivers", seeded_targets,
+                     "--fail-on", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "1 waived" in out
+
+    def test_unwaived_warning_fails_fail_on_warning(self, seeded_targets):
+        assert main(["lint", "--rules", "structural",
+                     "--waivers", seeded_targets,
+                     "--fail-on", "warning"]) == 1
+
+    def test_unwaived_warning_fails_fail_on_info(self, seeded_targets):
+        assert main(["lint", "--rules", "structural",
+                     "--waivers", seeded_targets,
+                     "--fail-on", "info"]) == 1
+
+    def test_fail_on_none_always_passes(self, seeded_targets):
+        assert main(["lint", "--rules", "structural",
+                     "--waivers", seeded_targets,
+                     "--fail-on", "none"]) == 0
+
+    def test_unwaived_error_still_fails(self, seeded_targets):
+        # Without the waiver file the STR-005 error trips the default.
+        assert main(["lint", "--rules", "structural"]) == 1
+
+
+class TestLintSarif:
+    def test_sarif_file_written(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "lint.sarif"
+        assert main(["lint", "--scale", "0.005",
+                     "--sarif", str(out_path)]) == 0
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_analysis_families_selectable(self, capsys):
+        assert main(["lint", "--scale", "0.005",
+                     "--rules", "const,dead,divergence,race"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no findings" in out

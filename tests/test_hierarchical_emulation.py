@@ -4,14 +4,11 @@ import pytest
 
 from repro.dft import (
     BlockTestSpec,
-    TestSchedule,
     dsc_block_test_specs,
     schedule_block_tests,
 )
 from repro.verification import (
     CampaignSpec,
-    EMULATOR,
-    SIMULATOR,
     VerificationPlatform,
     best_strategy,
     plan_emulator_only,

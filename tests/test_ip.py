@@ -1,6 +1,5 @@
 """Tests for the IP catalogue, hardening and integration models."""
 
-import numpy as np
 import pytest
 
 from repro.netlist import make_default_library
@@ -8,7 +7,6 @@ from repro.ip import (
     Deliverable,
     HdlLanguage,
     IpBlock,
-    IpCatalog,
     IpSource,
     SOFT_IP_CHECKLIST,
     dsc_ip_catalog,

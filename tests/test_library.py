@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.netlist import Cell, Logic, PinSpec, StdCellLibrary, make_default_library
+from repro.netlist import (
+    Cell,
+    Logic,
+    PinSpec,
+    StdCellLibrary,
+    make_default_library,
+)
 
 
 @pytest.fixture(scope="module")

@@ -442,3 +442,63 @@ class TestDscClean:
         assert report.errors == []
         assert report.count(Severity.WARNING) == 0
         assert report.modules_checked == len(targets.modules) + 1
+
+
+# ---------------------------------------------------------------------------
+# Control-source tracing edge cases
+# ---------------------------------------------------------------------------
+
+class TestTraceControlSourceEdges:
+    def test_icg_of_icg_chain(self, lib):
+        """Nested clock gates: the trace walks both ICGs back to the
+        root port and records the path inner-first."""
+        m = Module("icg2", lib)
+        for port in ("clk", "en1", "en2", "rst_n", "d"):
+            m.add_port(port, "input")
+        m.add_port("q", "output")
+        m.add_instance("icg1", "ICG",
+                       {"CK": "clk", "EN": "en1", "GCK": "g1"})
+        m.add_instance("icg2", "ICG",
+                       {"CK": "g1", "EN": "en2", "GCK": "g2"})
+        m.add_instance("f0", "DFFR",
+                       {"CK": "g2", "RN": "rst_n", "D": "d", "Q": "q"})
+        trace = trace_control_source(m, "g2")
+        assert (trace.root, trace.kind) == ("clk", "port")
+        assert trace.through_gate
+        assert not trace.inverted
+        assert trace.path == ("icg2", "icg1")
+        # The domain label carries the gated annotation exactly once.
+        assert trace.domain == "port:clk+gated"
+
+    def test_inverter_loop_on_clock_path(self, lib):
+        """Cross-coupled inverters feeding a clock pin terminate as a
+        'derived' source instead of looping forever."""
+        m = Module("ringclk", lib)
+        for port in ("rst_n", "d"):
+            m.add_port(port, "input")
+        m.add_port("q", "output")
+        m.add_instance("u0", "INV_X1", {"A": "n2", "Y": "n1"})
+        m.add_instance("u1", "INV_X1", {"A": "n1", "Y": "n2"})
+        m.add_instance("f0", "DFFR",
+                       {"CK": "n1", "RN": "rst_n", "D": "d", "Q": "q"})
+        trace = trace_control_source(m, "n1")
+        assert trace.kind == "derived"
+        assert trace.root == "n1"
+        assert trace.path == ("u0", "u1")
+
+    def test_clock_root_is_primary_inout(self, lib):
+        """A bidirectional pad net used as a clock traces to a port
+        root -- inout ports drive their net like inputs do."""
+        m = Module("ioclk", lib)
+        m.add_port("pad_clk", "inout")
+        for port in ("rst_n", "d"):
+            m.add_port(port, "input")
+        m.add_port("q", "output")
+        m.add_instance("u0", "BUF_X4", {"A": "pad_clk", "Y": "iclk"})
+        m.add_instance("f0", "DFFR",
+                       {"CK": "iclk", "RN": "rst_n", "D": "d", "Q": "q"})
+        trace = trace_control_source(m, "iclk")
+        assert (trace.root, trace.kind) == ("pad_clk", "port")
+        assert trace.path == ("u0",)
+        domains = infer_clock_domains(m)
+        assert domains.domain_of["f0"] == "port:pad_clk"

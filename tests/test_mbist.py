@@ -1,6 +1,5 @@
 """Tests for memory fault models, March tests and BIST planning."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

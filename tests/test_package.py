@@ -9,7 +9,6 @@ from repro.package import (
     DiePadRing,
     PinAssignment,
     angular_assignment,
-    assignment_quality,
     count_crossings,
     dsc_pad_ring,
     estimate_layers,

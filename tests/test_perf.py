@@ -4,7 +4,6 @@ import os
 import time
 from unittest import mock
 
-import pytest
 
 from repro.perf import (
     PerfRegistry,

@@ -5,7 +5,6 @@ import pytest
 from repro.eco import ChangeKind
 from repro.project import (
     ChangeEvent,
-    FlowTask,
     n2g_task_network,
     paper_change_stream,
     simulate_project,

@@ -9,15 +9,9 @@ respect their physical monotonicities.
 import io
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.netlist import (
-    Logic,
-    Module,
-    counter,
-    make_default_library,
-)
+from repro.netlist import counter, make_default_library
 from repro.netlist.generators import random_combinational_cloud
 from repro.jpeg import (
     AC_LUMA,

@@ -3,7 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netlist import Logic, Module, bits_to_int, counter, make_default_library
+from repro.netlist import (
+    Logic,
+    Module,
+    bits_to_int,
+    counter,
+    make_default_library,
+)
 from repro.netlist.generators import random_combinational_cloud
 from repro.sim import (
     LogicSimulator,

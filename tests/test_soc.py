@@ -6,7 +6,6 @@ from repro.soc import (
     AddressRange,
     BusError,
     CHIP_ID,
-    DmaController,
     DmaDescriptor,
     DscSoc,
     Fifo,

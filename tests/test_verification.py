@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.netlist import Logic, bits_to_int, counter, make_default_library
-from repro.sim import VENDOR_A_SIM, VENDOR_B_SIM
+from repro.netlist import bits_to_int, counter, make_default_library
 from repro.verification import (
     Testbench,
     cross_simulator_check,

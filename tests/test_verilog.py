@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netlist import (
-    Module,
     VerilogParseError,
     counter,
     make_default_library,
