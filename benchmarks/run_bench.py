@@ -151,6 +151,53 @@ def bench_simulator(quick: bool) -> dict:
     return out
 
 
+def bench_compiled_sim(quick: bool) -> dict:
+    """E4-scale netlist; interpreted event loop vs compiled bit-plane.
+
+    Both engines replay the same random stimulus; the compiled engine
+    additionally runs it on every lane of a 64-lane batch, so its rate
+    is reported in lane-cycles/sec.  The lane-0 trace must be
+    byte-identical to the event engine's -- that assertion *is* the
+    backend's correctness contract at benchmark scale.
+    """
+    from repro.coverage import constrained_stimulus
+    from repro.sim import BatchSimulator, LogicSimulator
+
+    lib = make_default_library(0.25)
+    block = pipeline_block("dsc_rep", lib, stages=3, width=24,
+                           cloud_gates=120, seed=3)
+    cycles = 128 if quick else 512
+    lanes = 64
+    stimulus = constrained_stimulus(block, cycles=cycles,
+                                    rng=np.random.default_rng(7))
+
+    out = {"netlist": "E4 pipeline_block", "cycles": cycles,
+           "lanes": lanes}
+
+    event = LogicSimulator(block)
+    start = time.perf_counter()
+    event_trace = event.run(stimulus, clock_port="clk")
+    elapsed = time.perf_counter() - start
+    out["event"] = {"cycles_per_s": cycles / elapsed,
+                    "seconds": elapsed}
+
+    batch = BatchSimulator(block, lanes=lanes)  # compile outside timer
+    start = time.perf_counter()
+    traces = batch.run([stimulus] * lanes, clock_port="clk")
+    elapsed = time.perf_counter() - start
+    out["compiled"] = {
+        "lane_cycles_per_s": cycles * lanes / elapsed,
+        "seconds": elapsed,
+    }
+    assert all(trace.signals == event_trace.signals
+               and trace.samples == event_trace.samples
+               for trace in traces), "compiled trace != event trace"
+
+    out["speedup"] = (out["compiled"]["lane_cycles_per_s"]
+                      / out["event"]["cycles_per_s"])
+    return out
+
+
 def bench_fixpoint(quick: bool) -> dict:
     """Dataflow fixpoint engine over the DSC block set.
 
@@ -205,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         "wafer_monte_carlo": bench_wafer(args.quick),
         "placement": bench_placement(args.quick),
         "simulator": bench_simulator(args.quick),
+        "compiled_sim": bench_compiled_sim(args.quick),
         "fixpoint": bench_fixpoint(args.quick),
     }
     results["perf_registry"] = REGISTRY.as_dict()
@@ -234,6 +282,12 @@ def main(argv: list[str] | None = None) -> int:
           f" -> {sim_section['instrumented']['cycles_per_s']:>12,.0f} "
           f"{'cycles/s':10s} ({sim_section['overhead']:.2f}x overhead "
           "instrumented)")
+    comp_section = results["compiled_sim"]
+    print(f"{'compiled_sim':18s} "
+          f"{comp_section['event']['cycles_per_s']:>12,.0f} -> "
+          f"{comp_section['compiled']['lane_cycles_per_s']:>12,.0f} "
+          f"{'cycles/s':10s} ({comp_section['speedup']:.1f}x, "
+          f"{comp_section['lanes']} lanes, identical traces)")
     fix_section = results["fixpoint"]
     print(f"{'fixpoint':18s} {fix_section['serial']['gates_per_s']:>12,.0f}"
           f" -> {fix_section['fanout']['gates_per_s']:>12,.0f} "

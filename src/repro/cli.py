@@ -161,7 +161,8 @@ def _cmd_regress(args: argparse.Namespace) -> int:
             checker=_null_checker,
             reset_port=None if args.no_reset else "rst_n",
         ))
-    cross = cross_simulator_check(module, benches, workers=args.workers)
+    cross = cross_simulator_check(module, benches, workers=args.workers,
+                                  engine=args.engine)
     print(cross.report_a.format_report())
     print()
     print(cross.report_b.format_report())
@@ -183,7 +184,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
     )
     result = close_coverage(module, covergroup, seed=args.seed,
                             config=config, spec=spec,
-                            workers=args.workers)
+                            workers=args.workers, engine=args.engine)
     print(result.format_report())
     return 0 if result.reached else 1
 
@@ -283,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("--no-reset", action="store_true",
                          help="skip reset to reproduce the E13 "
                               "dialect mismatch (exit code 1)")
+    regress.add_argument("--engine", choices=("event", "compiled"),
+                         default="compiled",
+                         help="simulation backend (bit-identical "
+                              "verdicts; compiled packs benches into "
+                              "word-parallel lanes)")
     regress.set_defaults(func=_cmd_regress)
 
     cover = sub.add_parser(
@@ -295,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
     cover.add_argument("--seed", type=int, default=1)
     cover.add_argument("--workers", type=int, default=1,
                        help="simulation fan-out processes per round")
+    cover.add_argument("--engine", choices=("event", "compiled"),
+                       default="compiled",
+                       help="simulation backend (bit-identical "
+                            "coverage DB; compiled packs a round's "
+                            "tests into word-parallel lanes)")
     cover.set_defaults(func=_cmd_cover)
 
     lint = sub.add_parser(

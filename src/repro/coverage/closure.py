@@ -23,8 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..netlist import Module, make_default_library, pipeline_block
-from ..perf import REGISTRY, fanout, stage_timer
-from ..sim import LogicSimulator, SimulatorConfig, VENDOR_A_SIM
+from ..perf import REGISTRY, fanout, resolve_workers, stage_timer
+from ..sim import (
+    BatchSimulator,
+    LogicSimulator,
+    SimulatorConfig,
+    VENDOR_A_SIM,
+)
 from ..verification import RegressionReport, TestbenchResult
 from .database import CoverageDatabase, TestCoverage
 from .functional import (
@@ -229,6 +234,160 @@ def _closure_worker(task) -> TestCoverage:
     )
 
 
+def simulate_lanes_with_coverage(
+    module: Module,
+    covergroup: CoverGroup | None,
+    *,
+    names: list[str],
+    seed_seqs: list,
+    cycles: int,
+    spec: StimulusSpec | None = None,
+    config: SimulatorConfig | None = None,
+    clock_port: str = "clk",
+    reset_port: str | None = "rst_n",
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE,
+) -> list[TestCoverage]:
+    """Run one constrained-random test per lane of a compiled sweep.
+
+    The lane-packed counterpart of :func:`simulate_with_coverage`:
+    lane *i* replays test ``names[i]`` with rng stream ``seed_seqs[i]``
+    -- the same stream the event path would use -- so every returned
+    :class:`TestCoverage` is identical to the one an event-engine run
+    of that test produces.  Structural coverage accumulates as word
+    masks (one OR over the value planes per edge) and is unpacked into
+    per-lane sets at the end; covergroup sampling decodes per lane
+    through the same :func:`decode_signals` helper.
+    """
+    lanes = len(names)
+    started = time.perf_counter()
+    stimuli = [
+        constrained_stimulus(module, cycles=cycles,
+                             rng=np.random.default_rng(seed_seq),
+                             spec=spec)
+        for seed_seq in seed_seqs
+    ]
+    sim = BatchSimulator(module, config, lanes=lanes)
+    program = sim.program
+    template = StructuralObserver(module, exclude=exclude)
+    flops = template._flops
+
+    # Word-mask accumulators, ORed once per edge: the vector analogue
+    # of StructuralObserver's per-edge set updates.
+    acc0 = np.zeros((program.n_nets, sim.words), dtype=np.uint64)
+    acc1 = np.zeros_like(acc0)
+    n_flops = len(program.flop_names)
+    facc0 = np.zeros((n_flops, sim.words), dtype=np.uint64)
+    facc1 = np.zeros_like(facc0)
+    reset_rows = [
+        (name, program.net_index[reset_net])
+        for name, _q_net, reset_net in flops
+        if reset_net is not None
+    ]
+    reset_slots = np.array([slot for _, slot in reset_rows],
+                           dtype=np.intp)
+    racc = np.zeros((len(reset_rows), sim.words), dtype=np.uint64)
+
+    def observe_edge() -> None:
+        is0, is1 = sim.net_value_words()
+        acc0.__ior__(is0)
+        acc1.__ior__(is1)
+        f0, f1 = sim.flop_state_words()
+        facc0.__ior__(f0)
+        facc1.__ior__(f1)
+        if reset_slots.size:
+            racc.__ior__(is0[reset_slots])
+
+    bin_hits: list[dict[str, int]] = [{} for _ in range(lanes)]
+    ties = {clock_port: 0}
+    for port_name, port in module.ports.items():
+        if port.direction == "input" and (
+                port_name.startswith("scan_") or port_name == "scan_en"):
+            ties[port_name] = 0
+    has_reset = reset_port is not None and reset_port in module.ports
+    if has_reset:
+        sim.set_inputs({**ties, reset_port: 0})
+        sim.clock_edge(clock_port)
+        observe_edge()
+        sim.set_input(reset_port, 1)
+
+    points = [
+        point for point in (covergroup.coverpoints if covergroup else ())
+        if point.signals
+    ]
+    for t in range(cycles):
+        vectors = [{**ties, **stimuli[lane][t]} for lane in range(lanes)]
+        if has_reset:
+            for vector in vectors:
+                vector[reset_port] = 1
+        sim.set_lane_inputs(vectors)
+        sim.clock_edge(clock_port)
+        observe_edge()
+        if covergroup is not None:
+            for lane in range(lanes):
+                values: dict[str, int] = {}
+                for point in points:
+                    decoded = decode_signals(
+                        point.signals,
+                        lambda net: sim.read(net, lane),
+                    )
+                    if decoded is not None:
+                        values[point.name] = decoded
+                covergroup.sample(values, bin_hits[lane])
+
+    # Unpack the word masks into per-lane coverage sets.
+    def lanes_of(words: np.ndarray) -> np.ndarray:
+        return np.unpackbits(
+            words.view(np.uint8), axis=1, bitorder="little"
+        )[:, :lanes].astype(bool)
+
+    a0, a1 = lanes_of(acc0), lanes_of(acc1)
+    toggled_bits = a0 & a1
+    half_bits = a0 ^ a1
+    active_bits = lanes_of(facc0) & lanes_of(facc1)
+    reset_bits = lanes_of(racc) if reset_rows else None
+    countable = template.countable
+    countable_rows = [
+        (i, name) for i, name in enumerate(program.net_names)
+        if name in countable
+    ]
+    elapsed = time.perf_counter() - started
+    results: list[TestCoverage] = []
+    for lane, name in enumerate(names):
+        results.append(TestCoverage(
+            name=name,
+            cycles=len(stimuli[lane]),
+            duration_s=elapsed / lanes,
+            toggled=frozenset(
+                net for i, net in countable_rows if toggled_bits[i, lane]
+            ),
+            half_toggled=frozenset(
+                net for i, net in countable_rows if half_bits[i, lane]
+            ),
+            active_flops=frozenset(
+                flop_name
+                for i, flop_name in enumerate(program.flop_names)
+                if active_bits[i, lane]
+            ),
+            reset_flops=frozenset(
+                flop_name for i, (flop_name, _) in enumerate(reset_rows)
+                if reset_bits is not None and reset_bits[i, lane]
+            ),
+            bin_hits=bin_hits[lane],
+        ))
+    return results
+
+
+def _compiled_closure_worker(task) -> list[TestCoverage]:
+    """Module-level worker: one lane-packed chunk of a closure round."""
+    (module, covergroup, names, seed_seqs, cycles, spec, config,
+     clock_port, reset_port, exclude) = task
+    return simulate_lanes_with_coverage(
+        module, covergroup, names=list(names), seed_seqs=list(seed_seqs),
+        cycles=cycles, spec=spec, config=config, clock_port=clock_port,
+        reset_port=reset_port, exclude=exclude,
+    )
+
+
 def close_coverage(
     module: Module,
     covergroup: CoverGroup | None = None,
@@ -238,6 +397,7 @@ def close_coverage(
     spec: StimulusSpec | None = None,
     sim_config: SimulatorConfig | None = None,
     workers: int | None = None,
+    engine: str = "compiled",
     clock_port: str = "clk",
     reset_port: str | None = "rst_n",
     exclude: tuple[str, ...] = DEFAULT_EXCLUDE,
@@ -245,10 +405,18 @@ def close_coverage(
     """Drive constrained-random rounds until coverage closes.
 
     Each round spawns ``tests_per_round`` fresh seed streams (children
-    ``total_tests..`` of ``SeedSequence(seed)``), simulates them via
-    the deterministic process fan-out, and merges in task order -- the
-    resulting database is bit-identical for any ``workers`` value.
+    ``total_tests..`` of ``SeedSequence(seed)``), simulates them, and
+    merges in task order -- the resulting database is bit-identical
+    for any ``workers`` value and either ``engine``.
+
+    With ``engine="compiled"`` (the default) a round's tests are
+    packed into lanes of :class:`~repro.sim.BatchSimulator` sweeps --
+    one chunk per worker -- before falling back to process fan-out
+    across the chunks; ``engine="event"`` is the original
+    one-process-per-test interpreted path.
     """
+    if engine not in ("compiled", "event"):
+        raise ValueError(f"unknown engine {engine!r}")
     config = config or ClosureConfig()
     sim_config = sim_config or VENDOR_A_SIM
     database = CoverageDatabase.for_module(
@@ -264,17 +432,39 @@ def close_coverage(
         round_started = time.perf_counter()
         seeds = spawn_test_seeds(seed, config.tests_per_round,
                                  spawn_offset=total_tests)
-        tasks = [
-            (module, covergroup,
-             f"r{round_index:02d}_t{test_index:02d}", seed_seq,
-             config.cycles_per_test, spec, sim_config, clock_port,
-             reset_port, exclude)
-            for test_index, seed_seq in enumerate(seeds)
+        names = [
+            f"r{round_index:02d}_t{test_index:02d}"
+            for test_index in range(len(seeds))
         ]
-        total_tests += len(tasks)
+        total_tests += len(seeds)
         before = len(database.covered_items())
-        for test in fanout(_closure_worker, tasks, workers=workers,
-                           stage="coverage.simulate"):
+        if engine == "compiled":
+            # Pack the round into lane-parallel chunks, one per
+            # worker; each test rides its own lane with its own seed
+            # stream, so chunking cannot change any test's result.
+            n_chunks = min(resolve_workers(workers), len(seeds)) or 1
+            bounds = np.linspace(0, len(seeds), n_chunks + 1,
+                                 dtype=int)
+            chunk_tasks = [
+                (module, covergroup, tuple(names[lo:hi]),
+                 tuple(seeds[lo:hi]), config.cycles_per_test, spec,
+                 sim_config, clock_port, reset_port, exclude)
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            chunked = fanout(_compiled_closure_worker, chunk_tasks,
+                             workers=workers, stage="coverage.simulate")
+            round_tests = [test for chunk in chunked for test in chunk]
+        else:
+            tasks = [
+                (module, covergroup, name, seed_seq,
+                 config.cycles_per_test, spec, sim_config, clock_port,
+                 reset_port, exclude)
+                for name, seed_seq in zip(names, seeds)
+            ]
+            round_tests = fanout(_closure_worker, tasks, workers=workers,
+                                 stage="coverage.simulate")
+        for test in round_tests:
             with stage_timer("coverage.merge"):
                 database.add_test(test)
                 results.append(TestbenchResult(
@@ -284,14 +474,14 @@ def close_coverage(
         new_items = len(database.covered_items()) - before
         rounds.append(ClosureRound(
             index=round_index,
-            tests=len(tasks),
+            tests=len(names),
             new_items=new_items,
             toggle_coverage=database.toggle_coverage,
             functional_coverage=database.functional_coverage,
             seconds=time.perf_counter() - round_started,
         ))
-        REGISTRY.count("coverage.closure", tests=len(tasks),
-                       cycles=len(tasks) * config.cycles_per_test)
+        REGISTRY.count("coverage.closure", tests=len(names),
+                       cycles=len(names) * config.cycles_per_test)
         if (database.toggle_coverage >= config.toggle_target
                 and database.functional_coverage
                 >= config.functional_target):

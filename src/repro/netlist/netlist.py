@@ -91,6 +91,7 @@ class Module:
         self.nets: dict[str, Net] = {}
         self.instances: dict[str, Instance] = {}
         self._topo_cache: list[Instance] | None = None
+        self._fingerprint_cache: str | None = None
 
     # -- construction -------------------------------------------------
 
@@ -217,6 +218,7 @@ class Module:
 
     def _invalidate(self) -> None:
         self._topo_cache = None
+        self._fingerprint_cache = None
 
     @property
     def sequential_instances(self) -> list[Instance]:
@@ -394,6 +396,31 @@ class Module:
         )
         ports = tuple(sorted((p.name, p.direction) for p in self.ports.values()))
         return (self.name, ports, insts)
+
+    def fingerprint(self) -> str:
+        """Stable content digest keying per-module compile caches.
+
+        Covers the structural signature, the full net-name set (nets
+        may exist without instances) and the library identity: two
+        modules with equal fingerprints levelize to the same compiled
+        simulation program (cell *behaviour* is assumed fixed per
+        library name/process node, which holds for libraries built by
+        :func:`make_default_library`).  Cached until the module is
+        structurally edited; process-independent, unlike ``hash()``.
+        """
+        if self._fingerprint_cache is None:
+            import hashlib
+
+            payload = repr((
+                self.structural_signature(),
+                tuple(sorted(self.nets)),
+                self.library.name,
+                self.library.process_node_um,
+            ))
+            self._fingerprint_cache = hashlib.sha256(
+                payload.encode()
+            ).hexdigest()
+        return self._fingerprint_cache
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,5 +1,20 @@
-"""Four-value logic simulation with configurable vendor dialects."""
+"""Four-value logic simulation with configurable vendor dialects.
 
+Two engines share one semantic core (:func:`evaluate_cell`):
+
+* :class:`LogicSimulator` -- the interpreted, event-style reference.
+* :class:`BatchSimulator` -- the compiled word-parallel backend
+  (:mod:`repro.sim.compiled`): the module is levelized once into a
+  flat numpy program and 64 stimulus lanes evaluate per uint64 word.
+"""
+
+from .compiled import (
+    BatchSimulator,
+    CompileError,
+    CompiledProgram,
+    compile_module,
+    run_lanes,
+)
 from .simulator import (
     LogicSimulator,
     SimulatorConfig,
@@ -8,6 +23,7 @@ from .simulator import (
     VENDOR_B_SIM,
     diff_traces,
     evaluate_cell,
+    resolve_clock_connection,
 )
 from .vcd import (
     escape_signal_name,
@@ -19,16 +35,22 @@ from .vcd import (
 )
 
 __all__ = [
+    "BatchSimulator",
+    "CompileError",
+    "CompiledProgram",
     "LogicSimulator",
     "SimulatorConfig",
     "Trace",
     "VENDOR_A_SIM",
     "VENDOR_B_SIM",
+    "compile_module",
     "diff_traces",
     "evaluate_cell",
     "escape_signal_name",
     "load_vcd",
     "read_vcd",
+    "resolve_clock_connection",
+    "run_lanes",
     "save_vcd",
     "unescape_signal_name",
     "write_vcd",

@@ -21,7 +21,9 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..netlist import Logic, Module
 from ..netlist.library import Cell
+from ..netlist.logic import logic_and
 from ..netlist.netlist import Instance, NetlistError
+from ..perf import stage_timer
 
 
 @dataclass(frozen=True)
@@ -77,22 +79,36 @@ class Trace:
     signals: tuple[str, ...]
     samples: list[tuple[Logic, ...]] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # signal -> tuple position, so column() is O(1) per sample
+        # instead of a linear signal scan.
+        self._index = {s: i for i, s in enumerate(self.signals)}
+
     def record(self, values: Mapping[str, Logic]) -> None:
         self.samples.append(tuple(values[s] for s in self.signals))
 
     def column(self, signal: str) -> list[Logic]:
-        index = self.signals.index(signal)
+        index = self._index.get(signal)
+        if index is None:
+            raise ValueError(
+                f"trace does not record signal {signal!r}"
+            )
         return [sample[index] for sample in self.samples]
 
     def __len__(self) -> int:
         return len(self.samples)
 
 
-def diff_traces(a: Trace, b: Trace) -> list[tuple[int, str, Logic, Logic]]:
+def diff_traces(
+    a: Trace, b: Trace, *, limit: int | None = None
+) -> list[tuple[int, str, Logic, Logic]]:
     """All (cycle, signal, value_a, value_b) points where two traces differ.
 
     Traces must cover the same signals; the comparison runs over the
-    common cycle prefix.
+    common cycle prefix.  ``limit`` caps how many mismatches are
+    materialised (None keeps them all): diffing long, widely divergent
+    traces otherwise builds millions of tuples just to learn "they
+    differ".
     """
     if a.signals != b.signals:
         raise ValueError("traces record different signal sets")
@@ -101,13 +117,46 @@ def diff_traces(a: Trace, b: Trace) -> list[tuple[int, str, Logic, Logic]]:
         for signal, va, vb in zip(a.signals, a.samples[cycle], b.samples[cycle]):
             if va is not vb:
                 mismatches.append((cycle, signal, va, vb))
+                if limit is not None and len(mismatches) >= limit:
+                    return mismatches
     return mismatches
+
+
+def resolve_clock_connection(
+    module: Module, net_name: str, clock_port: str
+) -> tuple[str, ...] | None:
+    """Enable nets between ``clock_port`` and a clock-pin net, or None.
+
+    A flop is driven by ``clock_port``'s rising edge iff its clock net
+    traces back -- through buffers, pads and integrated clock gates --
+    to that input port with even inverter parity.  The returned tuple
+    lists the EN nets of every ICG crossed (empty when the pin sees
+    the port through buffers only); ``None`` means the pin is not
+    clocked by this port at all (another port, an inverted/derived
+    clock, a flop-driven ripple clock, ...).
+    """
+    from ..lint.domains import trace_control_source
+
+    trace = trace_control_source(module, net_name)
+    if trace.kind != "port" or trace.root != clock_port or trace.inverted:
+        return None
+    enables: list[str] = []
+    for inst_name in trace.path:
+        inst = module.instances[inst_name]
+        if inst.cell.is_clock_gate:
+            enables.extend(
+                inst.net_of(pin)
+                for pin in inst.cell.input_pins
+                if pin != "CK"
+            )
+    return tuple(enables)
 
 
 class LogicSimulator:
     """Four-value, cycle-driven simulator for one flat module."""
 
-    def __init__(self, module: Module, config: SimulatorConfig | None = None):
+    def __init__(self, module: Module,
+                 config: SimulatorConfig | None = None) -> None:
         self.module = module
         self.config = config or SimulatorConfig()
         self._order = module.topological_combinational_order()
@@ -125,6 +174,10 @@ class LogicSimulator:
         }
         self.cycle = 0
         self._observers: list[Callable[["LogicSimulator"], None]] = []
+        # clock port -> [(flop, ICG enable nets)], resolved lazily.
+        self._clock_plans: dict[
+            str, list[tuple[Instance, tuple[str, ...]]]
+        ] = {}
         self.evaluate()
 
     # -- observers ----------------------------------------------------
@@ -213,40 +266,70 @@ class LogicSimulator:
             f"{self.config.max_settle_rounds} rounds"
         )
 
+    def _clock_plan(
+        self, clock_port: str
+    ) -> list[tuple[Instance, tuple[str, ...]]]:
+        plan = self._clock_plans.get(clock_port)
+        if plan is None:
+            plan = []
+            for flop in self._flops:
+                clock_pin = flop.cell.clock_pin
+                if clock_pin is None:
+                    continue
+                enables = resolve_clock_connection(
+                    self.module, flop.net_of(clock_pin), clock_port
+                )
+                if enables is not None:
+                    plan.append((flop, enables))
+            self._clock_plans[clock_port] = plan
+        return plan
+
     def clock_edge(self, clock_port: str = "clk") -> None:
         """Apply one rising edge on ``clock_port``: sample D, update Q.
 
-        Flops whose clock pin is not (transitively) tied to
-        ``clock_port``'s net are left untouched, which supports simple
-        multi-clock designs.
+        A flop is clocked iff its clock pin traces back to
+        ``clock_port`` (through buffers and clock gates -- see
+        :func:`resolve_clock_connection`); other flops are left
+        untouched, which supports simple multi-clock designs.  For a
+        gated clock the ICG enables decide: all ONE captures, any ZERO
+        holds, otherwise whether an edge reached the flop is unknown
+        and its state goes X.
         """
-        self.evaluate()  # propagate any pending input changes first
-        clock_net = clock_port
-        next_state: dict[str, Logic] = {}
-        for flop in self._flops:
-            if flop.net_of(flop.cell.clock_pin) != clock_net:
-                continue
-            cell = flop.cell
-            if cell.scan_enable_pin is not None:
-                scan_enable = self.net_values[flop.net_of(cell.scan_enable_pin)]
-            else:
-                scan_enable = Logic.ZERO
-            if scan_enable is Logic.ONE:
-                data = self.net_values[flop.net_of(cell.scan_in_pin)]
-            elif scan_enable is Logic.ZERO:
-                data = self.net_values[flop.net_of(cell.data_pin)]
-            else:
-                data = Logic.X
-            if cell.reset_pin is not None:
-                reset = self.net_values[flop.net_of(cell.reset_pin)]
-                if reset is Logic.ZERO:
-                    data = Logic.ZERO
-                elif not reset.is_known:
+        with stage_timer("sim.event.edge") as stats:
+            self.evaluate()  # propagate any pending input changes first
+            next_state: dict[str, Logic] = {}
+            for flop, enable_nets in self._clock_plan(clock_port):
+                gate = Logic.ONE
+                for net in enable_nets:
+                    gate = logic_and(gate, self.net_values[net])
+                if gate is Logic.ZERO:
+                    continue  # clock gated off: the flop holds
+                cell = flop.cell
+                if cell.scan_enable_pin is not None:
+                    scan_enable = self.net_values[
+                        flop.net_of(cell.scan_enable_pin)
+                    ]
+                else:
+                    scan_enable = Logic.ZERO
+                if scan_enable is Logic.ONE:
+                    data = self.net_values[flop.net_of(cell.scan_in_pin)]
+                elif scan_enable is Logic.ZERO:
+                    data = self.net_values[flop.net_of(cell.data_pin)]
+                else:
                     data = Logic.X
-            next_state[flop.name] = data
-        self.flop_state.update(next_state)
-        self.cycle += 1
-        self.evaluate()
+                if gate is not Logic.ONE:
+                    data = Logic.X  # gate unknown: edge may have fired
+                if cell.reset_pin is not None:
+                    reset = self.net_values[flop.net_of(cell.reset_pin)]
+                    if reset is Logic.ZERO:
+                        data = Logic.ZERO
+                    elif not reset.is_known:
+                        data = Logic.X
+                next_state[flop.name] = data
+            self.flop_state.update(next_state)
+            self.cycle += 1
+            self.evaluate()
+            stats.add(cycles=1)
         if self._observers:
             for observer in self._observers:
                 observer(self)

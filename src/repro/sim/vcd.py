@@ -192,13 +192,21 @@ def read_vcd(stream: IO[str], *, cycle_time: int = 10) -> Trace:
     return Trace(signals=tuple(signals), samples=samples)
 
 
-def save_vcd(trace: Trace, path: str, **kwargs) -> int:
+def save_vcd(
+    trace: Trace,
+    path: str,
+    *,
+    module_name: str = "dut",
+    timescale: str = "1 ns",
+    cycle_time: int = 10,
+) -> int:
     """Convenience wrapper: write the trace to a file path."""
     with open(path, "w", encoding="ascii") as stream:
-        return write_vcd(trace, stream, **kwargs)
+        return write_vcd(trace, stream, module_name=module_name,
+                         timescale=timescale, cycle_time=cycle_time)
 
 
-def load_vcd(path: str, **kwargs) -> Trace:
+def load_vcd(path: str, *, cycle_time: int = 10) -> Trace:
     """Convenience wrapper: read a trace back from a file path."""
     with open(path, "r", encoding="ascii") as stream:
-        return read_vcd(stream, **kwargs)
+        return read_vcd(stream, cycle_time=cycle_time)

@@ -10,13 +10,16 @@ vendors and us" that cost the paper's team sign-off time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..netlist import Module
-from ..perf import fanout
+from ..perf import fanout, resolve_workers
 from ..sim import (
+    BatchSimulator,
     SimulatorConfig,
+    Trace,
     VENDOR_A_SIM,
     VENDOR_B_SIM,
     diff_traces,
@@ -76,12 +79,85 @@ def _bench_worker(task: tuple) -> TestbenchResult:
     return bench.run(module, config)
 
 
+def _bench_group_worker(task: tuple) -> list[TestbenchResult]:
+    """Run a group of benches as lanes of one compiled sweep.
+
+    Every bench in the group shares a clock/reset protocol (enforced
+    by the grouping in :func:`run_regression`), so the reset preamble
+    applies to all lanes at once and each bench's stimulus rides its
+    own lane.  Verdicts and traces equal a per-bench event run;
+    durations split the group's wall clock evenly (telemetry only).
+    """
+    module, benches, config = task
+    started = time.perf_counter()
+    lanes = len(benches)
+    lead = benches[0]
+    sim = BatchSimulator(module, config, lanes=lanes)
+    ties = {lead.clock_port: 0}
+    for port_name, port in module.ports.items():
+        if port.direction != "input":
+            continue
+        if port_name.startswith("scan_") or port_name == "scan_en":
+            ties[port_name] = 0
+    has_reset = (lead.reset_port is not None
+                 and lead.reset_port in module.ports)
+    if has_reset:
+        sim.set_inputs({**ties, lead.reset_port: 0})
+        sim.evaluate()
+        for _ in range(lead.reset_cycles):
+            sim.clock_edge(lead.clock_port)
+        sim.set_input(lead.reset_port, 1)
+
+    default_watch = tuple(sorted(
+        name for name, port in module.ports.items()
+        if port.direction == "output"
+    ))
+    watches = [bench.watch if bench.watch is not None else default_watch
+               for bench in benches]
+    traces = [Trace(signals=watch) for watch in watches]
+    mismatches: list[list[str]] = [[] for _ in benches]
+    cycles = max(len(bench.stimulus) for bench in benches)
+    for cycle in range(cycles):
+        vectors = []
+        for bench in benches:
+            if cycle < len(bench.stimulus):
+                vector = {**ties, **bench.stimulus[cycle]}
+                if has_reset:
+                    vector[lead.reset_port] = 1
+            else:
+                vector = {}  # finished lane: inputs hold
+            vectors.append(vector)
+        sim.set_lane_inputs(vectors)
+        sim.clock_edge(lead.clock_port)
+        for lane, bench in enumerate(benches):
+            if cycle >= len(bench.stimulus):
+                continue
+            outputs = {s: sim.read(s, lane) for s in watches[lane]}
+            traces[lane].record(outputs)
+            error = bench.checker(cycle, outputs)
+            if error:
+                mismatches[lane].append(f"cycle {cycle}: {error}")
+    elapsed = time.perf_counter() - started
+    return [
+        TestbenchResult(
+            name=bench.name,
+            passed=not mismatches[lane],
+            cycles=len(bench.stimulus),
+            mismatches=mismatches[lane],
+            trace=traces[lane],
+            duration_s=elapsed / lanes,
+        )
+        for lane, bench in enumerate(benches)
+    ]
+
+
 def run_regression(
     module: Module,
     testbenches: Sequence[Testbench],
     *,
     config: SimulatorConfig | None = None,
     workers: int | None = None,
+    engine: str = "event",
 ) -> RegressionReport:
     """Run every bench under one dialect.
 
@@ -89,8 +165,49 @@ def run_regression(
     pool (results merge in suite order, so the report is identical to
     a serial run); benches with unpicklable checkers fall back to
     serial execution automatically.
+
+    ``engine="compiled"`` groups benches that share a clock/reset
+    protocol and runs each group's stimuli as parallel lanes of one
+    :class:`~repro.sim.BatchSimulator` sweep (chunked across workers),
+    with verdicts and traces bit-identical to the event engine.
     """
     config = config or VENDOR_A_SIM
+    if engine not in ("compiled", "event"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "compiled":
+        # Group benches sharing a preamble; keep each bench's suite
+        # position so results merge back in order.
+        groups: dict[tuple, list[int]] = {}
+        for index, bench in enumerate(testbenches):
+            reset = (bench.reset_port
+                     if bench.reset_port is not None
+                     and bench.reset_port in module.ports else None)
+            key = (bench.clock_port, reset,
+                   bench.reset_cycles if reset else 0)
+            groups.setdefault(key, []).append(index)
+        # Split each group into at most ``workers`` chunks so the
+        # process fan-out still helps when one group dominates.
+        n_workers = resolve_workers(workers)
+        tasks: list[tuple] = []
+        task_indices: list[list[int]] = []
+        for indices in groups.values():
+            n_chunks = min(n_workers, len(indices))
+            for chunk in range(n_chunks):
+                sel = indices[chunk::n_chunks]
+                tasks.append(
+                    (module, [testbenches[i] for i in sel], config)
+                )
+                task_indices.append(sel)
+        chunked = fanout(_bench_group_worker, tasks, workers=workers,
+                         stage="verification.regression")
+        ordered: list[TestbenchResult | None] = [None] * len(testbenches)
+        for sel, chunk_results in zip(task_indices, chunked):
+            for i, result in zip(sel, chunk_results):
+                ordered[i] = result
+        return RegressionReport(
+            dialect=config.name,
+            results=[r for r in ordered if r is not None],
+        )
     results = fanout(
         _bench_worker,
         [(module, bench, config) for bench in testbenches],
@@ -139,12 +256,13 @@ def cross_simulator_check(
     config_a: SimulatorConfig = VENDOR_A_SIM,
     config_b: SimulatorConfig = VENDOR_B_SIM,
     workers: int | None = None,
+    engine: str = "event",
 ) -> CrossSimReport:
     """Run the suite under two dialects and reconcile (E13)."""
     report_a = run_regression(module, testbenches, config=config_a,
-                              workers=workers)
+                              workers=workers, engine=engine)
     report_b = run_regression(module, testbenches, config=config_b,
-                              workers=workers)
+                              workers=workers, engine=engine)
     cross = CrossSimReport(report_a, report_b)
     for result_a, result_b in zip(report_a.results, report_b.results):
         if result_a.passed != result_b.passed:

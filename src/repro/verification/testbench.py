@@ -17,7 +17,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..netlist import Logic, Module
-from ..sim import LogicSimulator, SimulatorConfig, Trace
+from ..sim import BatchSimulator, LogicSimulator, SimulatorConfig, Trace
 
 
 @dataclass
@@ -56,11 +56,28 @@ class Testbench:
     __test__ = False  # not a pytest collection target
 
     def run(
-        self, module: Module, config: SimulatorConfig | None = None
+        self,
+        module: Module,
+        config: SimulatorConfig | None = None,
+        *,
+        engine: str = "event",
     ) -> TestbenchResult:
-        """Execute against a module under one simulator dialect."""
+        """Execute against a module under one simulator dialect.
+
+        ``engine`` picks the simulation backend: ``"event"`` (default)
+        is the interpreted reference, ``"compiled"`` a one-lane
+        :class:`~repro.sim.BatchSimulator` -- verdict and trace are
+        bit-identical (suites batch lanes via
+        :func:`repro.verification.run_regression` instead).
+        """
         started = time.perf_counter()
-        sim = LogicSimulator(module, config)
+        sim: LogicSimulator | BatchSimulator
+        if engine == "compiled":
+            sim = BatchSimulator(module, config, lanes=1)
+        elif engine == "event":
+            sim = LogicSimulator(module, config)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
         ties = {self.clock_port: 0}
         for port_name, port in module.ports.items():
             if port.direction != "input":
