@@ -30,7 +30,7 @@ from weakref import WeakKeyDictionary
 
 from ..netlist import Module
 from ..netlist.netlist import Instance, Net
-from ..perf import fanout
+from ..perf import fanout, resolve_workers
 from ..sim import SimulatorConfig, VENDOR_A_SIM, VENDOR_B_SIM
 from .domains import (
     BINARY,
@@ -544,6 +544,34 @@ def _summary_task(module: Module) -> ModuleSummary:
     return summarize_module(module)
 
 
+def _summaries_task(modules: List[Module]) -> List[ModuleSummary]:
+    """Worker: analyse one gate-count-balanced chunk of modules."""
+    return [summarize_module(module) for module in modules]
+
+
+def _balanced_chunks(
+    modules: Sequence[Module], n_bins: int
+) -> List[List[int]]:
+    """LPT bin-packing of module indices by gate count.
+
+    Largest module first onto the least-loaded bin, ties broken by bin
+    index, so the packing (and therefore the perf profile) is a pure
+    function of the module list.  A single oversized module no longer
+    drags a whole round-robin stripe of small ones behind it.
+    """
+    order = sorted(
+        range(len(modules)),
+        key=lambda i: (-len(modules[i].instances), i),
+    )
+    loads = [0] * n_bins
+    bins: List[List[int]] = [[] for _ in range(n_bins)]
+    for index in order:
+        target = min(range(n_bins), key=lambda b: (loads[b], b))
+        bins[target].append(index)
+        loads[target] += max(1, len(modules[index].instances))
+    return [sorted(chunk) for chunk in bins if chunk]
+
+
 def analyze_modules(
     modules: Sequence[Module],
     *,
@@ -552,12 +580,30 @@ def analyze_modules(
 ) -> AnalysisReport:
     """Analyse every module, fanning out across processes.
 
-    Each summary is a pure function of its module and results merge in
-    task order, so the report (and its canonical JSON) is byte-identical
-    for any ``workers`` value.
+    Modules are grouped into gate-count-balanced chunks (one per
+    worker, LPT packing) before the fan-out, so pickle round-trips are
+    paid once per worker instead of once per module and no worker
+    idles behind a straggler.  Each summary is a pure function of its
+    module and results merge by original module index, so the report
+    (and its canonical JSON) is byte-identical for any ``workers``
+    value.
     """
-    summaries = fanout(
-        _summary_task, list(modules), workers=workers,
+    module_list = list(modules)
+    if not module_list:
+        return AnalysisReport(design=design, summaries=[])
+    n_bins = min(resolve_workers(workers), len(module_list))
+    chunks = _balanced_chunks(module_list, n_bins)
+    chunk_results = fanout(
+        _summaries_task,
+        [[module_list[i] for i in chunk] for chunk in chunks],
+        workers=n_bins,
         stage="analysis.modules",
     )
-    return AnalysisReport(design=design, summaries=list(summaries))
+    by_index: Dict[int, ModuleSummary] = {}
+    for chunk, results in zip(chunks, chunk_results):
+        for index, summary in zip(chunk, results):
+            by_index[index] = summary
+    return AnalysisReport(
+        design=design,
+        summaries=[by_index[i] for i in range(len(module_list))],
+    )

@@ -79,7 +79,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     result = run_atpg(scanned, seed=args.seed,
                       max_random_patterns=args.patterns,
                       batch_size=args.batch_size, kernel=args.kernel,
-                      workers=args.workers)
+                      engine=args.engine, workers=args.workers)
     print(result.format_report())
     return 0
 
@@ -253,7 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "random pattern stream)")
     atpg.add_argument("--kernel", choices=("words", "bigint"),
                       default="words",
-                      help="fault-sim evaluation kernel")
+                      help="legacy fault-sim kernel name (superseded "
+                           "by --engine)")
+    atpg.add_argument("--engine",
+                      choices=("compiled", "words", "scalar"),
+                      default=None,
+                      help="fault-sim engine; all engines are "
+                           "bit-identical, 'compiled' is the fused "
+                           "flat-program backend")
     atpg.add_argument("--workers", type=int, default=1,
                       help="fault-partition processes for fault sim")
     atpg.set_defaults(func=_cmd_atpg)

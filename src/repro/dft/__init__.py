@@ -16,7 +16,14 @@ from .faultsim import (
     CombinationalView,
     FaultSimResult,
     random_pattern_fault_sim,
+    resolve_engine,
     simulate_single_pattern,
+)
+from .compiled import (
+    FaultProgram,
+    clear_fault_program_cache,
+    compile_fault_program,
+    grade_batch,
 )
 from .atpg import AtpgResult, run_atpg
 from .diagnosis import (
@@ -50,7 +57,12 @@ __all__ = [
     "CombinationalView",
     "FaultSimResult",
     "random_pattern_fault_sim",
+    "resolve_engine",
     "simulate_single_pattern",
+    "FaultProgram",
+    "clear_fault_program_cache",
+    "compile_fault_program",
+    "grade_batch",
     "AtpgResult",
     "run_atpg",
     "DiagnosisCandidate",

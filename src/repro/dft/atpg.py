@@ -24,6 +24,7 @@ from .faultsim import (
     CombinationalView,
     FaultSimResult,
     random_pattern_fault_sim,
+    resolve_engine,
 )
 from .podem import Podem
 
@@ -80,21 +81,62 @@ class AtpgResult:
         return "\n".join(lines)
 
 
+def _grade_pattern_scalar(
+    view: CombinationalView,
+    pattern: dict[str, int],
+    candidates: Sequence[Fault],
+) -> set[Fault]:
+    """Reference single-pattern grading: big-int detect per fault."""
+    good = view.evaluate(pattern, 1)
+    return {
+        fault for fault in candidates
+        if view.detect_mask(fault, good, 1)
+    }
+
+
+def _grade_pattern_compiled(
+    view: CombinationalView,
+    pattern: dict[str, int],
+    candidates: Sequence[Fault],
+) -> set[Fault]:
+    """Grade one PODEM pattern on the fused compiled program.
+
+    One width-1 sweep of the (cached) fault program replaces the
+    per-fault Python cone walk; detection outcomes are bit-identical
+    to :func:`_grade_pattern_scalar`.
+    """
+    from .compiled import compiled_batch_hits
+
+    bits = {
+        net: np.array([pattern.get(net, 0)], dtype=np.uint8)
+        for net in view.pseudo_inputs
+    }
+    return set(compiled_batch_hits(view, bits, 1, list(candidates)))
+
+
 def _deterministic_phase(
     view: CombinationalView,
     undetected: Sequence[Fault],
     *,
     rng: np.random.Generator,
     backtrack_limit: int = 256,
+    kernel: str = "bigint",
 ) -> tuple[set[Fault], list[Fault], int]:
     """PODEM phase with cross-fault dropping.
 
     Each PODEM pattern (unassigned inputs filled randomly) is fault-
     simulated against all still-pending faults, so one deterministic
     pattern often pays for several faults -- standard practice.
+    ``kernel`` picks the grading path (``"compiled"`` grades the
+    whole pending set in one fused sweep; anything else uses the
+    scalar reference); the outcome is identical either way.
     Returns (detected, proven-untestable, patterns used).
     """
     engine = Podem(view, backtrack_limit=backtrack_limit)
+    grade = (
+        _grade_pattern_compiled if kernel == "compiled"
+        else _grade_pattern_scalar
+    )
     detected: set[Fault] = set()
     untestable: list[Fault] = []
     patterns_used = 0
@@ -114,12 +156,8 @@ def _deterministic_phase(
             if net not in pattern:
                 pattern[net] = int(rng.integers(0, 2))
         patterns_used += 1
-        good = view.evaluate(pattern, 1)
-        for candidate in [fault] + pending:
-            if candidate in detected:
-                continue
-            if view.detect_mask(candidate, good, 1):
-                detected.add(candidate)
+        candidates = [fault] + [f for f in pending if f not in detected]
+        detected |= grade(view, pattern, candidates)
         pending = [f for f in pending if f not in detected]
     return detected, untestable, patterns_used
 
@@ -133,6 +171,7 @@ def run_atpg(
     collapse: bool = True,
     batch_size: int = 64,
     kernel: str = "words",
+    engine: str | None = None,
     workers: int = 1,
 ) -> AtpgResult:
     """Full ATPG flow on a (scanned) module.
@@ -142,14 +181,16 @@ def run_atpg(
     combinational view simply treats all flop boundaries as test
     points, which models perfect scan access.
 
-    ``batch_size``, ``kernel`` and ``workers`` tune the random-pattern
-    fault-simulation phase (see
-    :func:`repro.dft.random_pattern_fault_sim`).  ``kernel`` and
-    ``workers`` never change the result; ``batch_size`` selects how
-    many patterns are drawn per batch, so a different width applies a
-    different (equally random) pattern stream.  The defaults match the
-    historical behaviour pattern-for-pattern.
+    ``batch_size``, ``kernel``/``engine`` and ``workers`` tune fault
+    simulation (see :func:`repro.dft.random_pattern_fault_sim`).
+    ``engine="compiled"`` also grades PODEM candidate patterns on the
+    fused compiled program instead of the per-fault scalar walk.
+    Engine and worker count never change the result; ``batch_size``
+    selects how many patterns are drawn per batch, so a different
+    width applies a different (equally random) pattern stream.  The
+    defaults match the historical behaviour pattern-for-pattern.
     """
+    kernel = resolve_engine(engine, kernel)
     rng = np.random.default_rng(seed)
     view = CombinationalView(module)
     universe = enumerate_faults(module)
@@ -163,7 +204,8 @@ def run_atpg(
     undetected = [f for f in universe if f not in random_result.detected]
     with stage_timer("dft.atpg.podem") as stats:
         det_extra, untestable, det_patterns = _deterministic_phase(
-            view, undetected, rng=rng, backtrack_limit=backtrack_limit
+            view, undetected, rng=rng, backtrack_limit=backtrack_limit,
+            kernel=kernel,
         )
         stats.add(patterns=det_patterns, faults=len(undetected))
     still_undetected = [

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -163,7 +163,7 @@ class CombinationalView:
                 dtype=np.intp,
             )
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # Drop memo caches when shipping the view to pool workers;
         # each worker rebuilds them as it simulates.
         state = self.__dict__.copy()
@@ -520,12 +520,12 @@ class CombinationalView:
 class _OverlayView(dict):
     """Read-through overlay: fault values shadow good values."""
 
-    def __init__(self, overlay: dict, base: Mapping):
+    def __init__(self, overlay: dict, base: Mapping) -> None:
         super().__init__()
         self._overlay = overlay
         self._base = base
 
-    def get(self, key: str, default=0):
+    def get(self, key: str, default: Any = 0) -> Any:
         if key in self._overlay:
             return self._overlay[key]
         return self._base.get(key, default)
@@ -608,10 +608,56 @@ def _batch_first_hits_bigint(
     return hits
 
 
-_BATCH_KERNELS = {
+_BatchKernel = Callable[
+    [CombinationalView, Mapping[str, np.ndarray], int, Sequence[Fault]],
+    dict[Fault, int],
+]
+
+_BATCH_KERNELS: dict[str, _BatchKernel] = {
     "words": _batch_first_hits_words,
     "bigint": _batch_first_hits_bigint,
 }
+
+#: Public engine names -> batch kernels.  ``engine`` is the PR 5-style
+#: knob (mirroring the functional simulator's event/compiled choice);
+#: ``kernel`` remains as the historical spelling.
+_ENGINE_KERNELS = {
+    "compiled": "compiled",
+    "words": "words",
+    "scalar": "bigint",
+}
+
+
+def _get_kernel(kernel: str) -> _BatchKernel:
+    """Resolve a kernel name, lazily registering the compiled engine
+    (which lives in :mod:`repro.dft.compiled` and imports this
+    module, so it cannot be registered at import time)."""
+    fn = _BATCH_KERNELS.get(kernel)
+    if fn is None and kernel == "compiled":
+        from .compiled import compiled_batch_hits
+
+        fn = _BATCH_KERNELS["compiled"] = compiled_batch_hits
+    if fn is None:
+        raise ValueError(f"unknown kernel {kernel!r}")
+    return fn
+
+
+def resolve_engine(engine: str | None, kernel: str) -> str:
+    """Effective kernel name for an (engine, kernel) pair.
+
+    ``engine`` (``"compiled"`` | ``"words"`` | ``"scalar"``) wins when
+    given; otherwise the legacy ``kernel`` name passes through.  All
+    engines are bit-identical; this only selects the evaluation path.
+    """
+    if engine is None:
+        return kernel
+    mapped = _ENGINE_KERNELS.get(engine)
+    if mapped is None:
+        raise ValueError(
+            f"unknown engine {engine!r} "
+            f"(expected one of {sorted(_ENGINE_KERNELS)})"
+        )
+    return mapped
 
 
 def _record_batch(
@@ -649,7 +695,14 @@ def _batch_schedule(max_patterns: int, batch_size: int) -> list[int]:
     return widths
 
 
-def _fault_partition_worker(task) -> dict[Fault, tuple[int, int]]:
+_PartitionTask = tuple[
+    CombinationalView, list[Fault], str, Mapping[str, Any], list[int], str
+]
+
+
+def _fault_partition_worker(
+    task: _PartitionTask,
+) -> dict[Fault, tuple[int, int]]:
     """Simulate one fault partition over the shared pattern schedule.
 
     Returns fault -> (batch index, pattern bit) of its first
@@ -661,7 +714,7 @@ def _fault_partition_worker(task) -> dict[Fault, tuple[int, int]]:
     bit_generator = getattr(np.random, generator_name)()
     bit_generator.state = rng_state
     rng = np.random.Generator(bit_generator)
-    batch_eval = _BATCH_KERNELS[kernel]
+    batch_eval = _get_kernel(kernel)
     remaining = list(faults)
     first: dict[Fault, tuple[int, int]] = {}
     for batch_index, width in enumerate(widths):
@@ -684,6 +737,7 @@ def random_pattern_fault_sim(
     batch_size: int = 64,
     target_coverage: float | None = None,
     kernel: str = "words",
+    engine: str | None = None,
     workers: int = 1,
 ) -> FaultSimResult:
     """Random-pattern fault simulation with fault dropping.
@@ -692,16 +746,20 @@ def random_pattern_fault_sim(
     reached or ``target_coverage`` is met; detected faults are dropped
     from further simulation.
 
-    ``kernel`` selects the packed representation (``"words"`` for the
-    numpy ``uint64`` kernel, ``"bigint"`` for the scalar reference);
-    both give bit-identical results.  ``workers > 1`` partitions the
-    fault list over a process pool; the merge replays the serial
-    batch loop from per-fault first-detection records, so the result
-    (and the caller's ``rng`` state afterwards) is identical for any
-    worker count.
+    ``engine`` selects the evaluation path: ``"compiled"`` (the fused
+    flat-program backend of :mod:`repro.dft.compiled`), ``"words"``
+    (the numpy ``uint64`` word kernel) or ``"scalar"`` (the big-int
+    reference).  The legacy ``kernel`` spelling (``"words"`` /
+    ``"bigint"``) is honoured when ``engine`` is not given.  All
+    engines give bit-identical results -- coverage, coverage curve,
+    first-detecting-pattern attribution and drop order.  ``workers >
+    1`` partitions the fault list over a process pool; the merge
+    replays the serial batch loop from per-fault first-detection
+    records, so the result (and the caller's ``rng`` state afterwards)
+    is identical for any worker count and any engine.
     """
-    if kernel not in _BATCH_KERNELS:
-        raise ValueError(f"unknown kernel {kernel!r}")
+    kernel = resolve_engine(engine, kernel)
+    _get_kernel(kernel)  # validate before any rng draw
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     n_workers = max(1, int(workers)) if workers is not None else 1
@@ -734,7 +792,7 @@ def _serial_fault_sim(
     target_coverage: float | None,
     kernel: str,
 ) -> FaultSimResult:
-    batch_eval = _BATCH_KERNELS[kernel]
+    batch_eval = _get_kernel(kernel)
     result = FaultSimResult(total_faults=len(faults))
     remaining: list[Fault] = list(faults)
     while result.patterns_applied < max_patterns and remaining:

@@ -19,10 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..netlist.netlist import Instance
 from .faults import Fault
 from .faultsim import CombinationalView
 
 _UNKNOWN = None
+
+#: Three-valued net map: 0, 1 or unknown (None).
+_Values = dict[str, Optional[int]]
 
 
 @dataclass
@@ -39,7 +43,9 @@ class PodemResult:
 class Podem:
     """PODEM engine bound to one combinational view."""
 
-    def __init__(self, view: CombinationalView, *, backtrack_limit: int = 256):
+    def __init__(
+        self, view: CombinationalView, *, backtrack_limit: int = 256
+    ) -> None:
         self.view = view
         self.backtrack_limit = backtrack_limit
         module = view.module
@@ -49,7 +55,9 @@ class Podem:
 
     # -- three-valued gate evaluation ----------------------------------
 
-    def _eval_gate(self, inst, in_values: list[Optional[int]]) -> Optional[int]:
+    def _eval_gate(
+        self, inst: Instance, in_values: list[Optional[int]]
+    ) -> Optional[int]:
         """Evaluate one gate with possibly-unknown inputs.
 
         Returns 0/1 when every completion of the unknown inputs agrees,
@@ -110,21 +118,23 @@ class Podem:
         inst = self.view.module.instances[fault.instance]
         return inst.net_of(fault.pin)
 
-    def _detected(self, good, faulty) -> bool:
+    def _detected(self, good: _Values, faulty: _Values) -> bool:
         for net in self._po_set:
             g, f = good.get(net), faulty.get(net)
             if g is not _UNKNOWN and f is not _UNKNOWN and g != f:
                 return True
         return False
 
-    def _d_frontier(self, fault: Fault, good, faulty):
+    def _d_frontier(
+        self, fault: Fault, good: _Values, faulty: _Values
+    ) -> list[Instance]:
         """Gates with a fault effect on an input and an unknown output.
 
         For a branch (input-pin) fault the difference first exists
         *inside* the site gate, not on any net, so the site gate joins
         the frontier explicitly while its output is still unknown.
         """
-        frontier = []
+        frontier: list[Instance] = []
         site = self.view.module.instances[fault.instance]
         site_is_branch = site.cell.pin(fault.pin).direction == "input"
         for inst in self._order:
@@ -147,7 +157,9 @@ class Podem:
 
     # -- objective and backtrace -----------------------------------------
 
-    def _objective(self, fault: Fault, good, faulty):
+    def _objective(
+        self, fault: Fault, good: _Values, faulty: _Values
+    ) -> Optional[tuple[str, int]]:
         """Next (net, value) objective, or None when stuck."""
         stem = self._site_stem_net(fault)
         stem_good = good.get(stem)
@@ -172,7 +184,9 @@ class Podem:
                 return net, want
         return None
 
-    def _backtrace(self, net: str, value: int, good) -> tuple[str, int]:
+    def _backtrace(
+        self, net: str, value: int, good: _Values
+    ) -> tuple[str, int]:
         """Walk an objective back to an unassigned primary input."""
         module = self.view.module
         current_net, current_value = net, value
@@ -203,7 +217,13 @@ class Podem:
             current_value = desired
         return current_net, current_value
 
-    def _choose_input_value(self, inst, pin_index, desired_output, good) -> int:
+    def _choose_input_value(
+        self,
+        inst: Instance,
+        pin_index: int,
+        desired_output: int,
+        good: _Values,
+    ) -> int:
         minterms = set(self.view._minterms[inst.cell.name])
         pins = inst.cell.input_pins
         known = {

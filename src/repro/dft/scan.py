@@ -14,12 +14,24 @@ formally transparent when ``scan_en`` is low).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Protocol
 
 from ..netlist import Logic, Module
 from ..sim import LogicSimulator
 
+if TYPE_CHECKING:
+    from ..lint.core import Finding
+
 #: Functional flop -> scan flop replacement map.
 _SCAN_EQUIVALENT = {"DFF": "SDFF", "DFFR": "SDFFR"}
+
+
+class _Placement(Protocol):
+    """Anything that can report instance coordinates (the physical
+    package's Placement, or any stand-in with the same method)."""
+
+    def position_um(self, instance: str) -> tuple[float, float]:
+        ...
 
 
 class ScanDrcError(ValueError):
@@ -29,7 +41,9 @@ class ScanDrcError(ValueError):
     keeps working.  Carries the offending lint findings.
     """
 
-    def __init__(self, module_name: str, findings) -> None:
+    def __init__(
+        self, module_name: str, findings: Iterable["Finding"]
+    ) -> None:
         self.findings = list(findings)
         details = "; ".join(f.message for f in self.findings[:5])
         extra = len(self.findings) - 5
@@ -209,7 +223,9 @@ def shift_out(
     return observed
 
 
-def placement_aware_chain_order(module: Module, placement) -> list[str]:
+def placement_aware_chain_order(
+    module: Module, placement: _Placement
+) -> list[str]:
     """Order flops by a greedy nearest-neighbour tour over placement.
 
     Scan stitching in name order zig-zags across the die; re-ordering
@@ -240,7 +256,9 @@ def placement_aware_chain_order(module: Module, placement) -> list[str]:
     return order
 
 
-def chain_wirelength_um(order: list[str], placement) -> float:
+def chain_wirelength_um(
+    order: list[str], placement: _Placement
+) -> float:
     """Total stitch length of a chain order under a placement."""
     total = 0.0
     for a, b in zip(order, order[1:]):

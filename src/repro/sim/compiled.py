@@ -77,6 +77,7 @@ __all__ = [
     "CompileError",
     "CompiledProgram",
     "compile_module",
+    "levelize_combinational",
 ]
 
 WORD_BITS = 64
@@ -114,6 +115,35 @@ def _words_of_int(mask: int, words: int) -> np.ndarray:
     return np.frombuffer(
         mask.to_bytes(words * 8, "little"), dtype="<u8"
     ).astype(np.uint64)
+
+
+def levelize_combinational(
+    module: Module,
+) -> tuple[dict[str, int], list[list[Instance]]]:
+    """Levelize the combinational network of ``module``.
+
+    Returns ``(net_level, levels)``: the topological level of every
+    gate-driven net (primary and pseudo inputs are level 0, a gate's
+    output is one past its deepest input) and the combinational
+    instances grouped per level in ascending order.  This is the
+    single levelization both flat-program compilers build on -- the
+    functional bit-plane backend here and the fused fault-cone
+    programs in :mod:`repro.dft.compiled` -- so level boundaries (the
+    points where fault forces are injected) are identical across
+    engines by construction.
+    """
+    order = module.topological_combinational_order()
+    net_level: dict[str, int] = {}
+    by_level: dict[int, list[Instance]] = {}
+    for inst in order:
+        level = 1 + max(
+            (net_level.get(inst.net_of(pin), 0)
+             for pin in inst.cell.input_pins),
+            default=0,
+        )
+        net_level[inst.net_of(inst.cell.output_pins[0])] = level
+        by_level.setdefault(level, []).append(inst)
+    return net_level, [by_level[level] for level in sorted(by_level)]
 
 
 def lane_valid_words(lanes: int, words: int) -> np.ndarray:
@@ -286,21 +316,10 @@ class CompiledProgram:
     def _build_levels(
         self, module: Module, config: SimulatorConfig
     ) -> list[_Level]:
-        order = module.topological_combinational_order()
-        net_level: dict[str, int] = {}
-        by_level: dict[int, list[Instance]] = {}
-        for inst in order:
-            level = 1 + max(
-                (net_level.get(inst.net_of(pin), 0)
-                 for pin in inst.cell.input_pins),
-                default=0,
-            )
-            net_level[inst.net_of(inst.cell.output_pins[0])] = level
-            by_level.setdefault(level, []).append(inst)
+        by_level = levelize_combinational(module)[1]
 
         levels: list[_Level] = []
-        for level in sorted(by_level):
-            insts = by_level[level]
+        for insts in by_level:
             tables = [_cell_table(inst.cell, config) for inst in insts]
             n_max = 1
             for table in tables:

@@ -1,0 +1,286 @@
+"""Engine-equivalence tests for the compiled fault-simulation backend.
+
+The compiled engine's contract mirrors the compiled functional
+backend's: *bit identity*.  For any netlist, dialect of scan
+configuration, batch size and worker count, ``engine="compiled"`` must
+reproduce the words and scalar kernels' :class:`FaultSimResult`
+exactly -- detected set, coverage curve, effective patterns and
+first-detecting-pattern attribution -- and :func:`run_atpg` must
+return the same report through either grading path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import Module, make_default_library, pipeline_block
+from repro.dft import (
+    CombinationalView,
+    Fault,
+    clear_fault_program_cache,
+    collapse_faults,
+    compile_fault_program,
+    enumerate_faults,
+    grade_batch,
+    insert_scan,
+    random_pattern_fault_sim,
+    resolve_engine,
+    run_atpg,
+)
+from repro.dft.faultsim import _batch_first_hits_words
+
+ENGINES = ("scalar", "words", "compiled")
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+def result_digest(result):
+    """Everything a FaultSimResult promises, as a comparable value."""
+    return (
+        result.total_faults,
+        result.patterns_applied,
+        result.detected,
+        result.coverage_curve,
+        result.effective_patterns,
+        result.detection_index,
+    )
+
+
+def fault_sim_digests(module, *, seed, batch_size=64, max_patterns=256,
+                      workers=1):
+    view = CombinationalView(module)
+    faults = collapse_faults(module, enumerate_faults(module))
+    digests = {}
+    for engine in ENGINES:
+        result = random_pattern_fault_sim(
+            view, faults, rng=np.random.default_rng(seed),
+            max_patterns=max_patterns, batch_size=batch_size,
+            engine=engine, workers=workers,
+        )
+        digests[engine] = result_digest(result)
+    return digests
+
+
+class TestEngineIdentity:
+    """Randomized netlists x scan configs x batch sizes x engines."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        stages=st.integers(min_value=1, max_value=3),
+        width=st.integers(min_value=2, max_value=6),
+        n_chains=st.integers(min_value=1, max_value=3),
+        batch_size=st.sampled_from((17, 64, 256)),
+    )
+    def test_fault_sim_identical(self, seed, stages, width, n_chains,
+                                 batch_size):
+        library = make_default_library(0.25)
+        module = pipeline_block("rnd", library, stages=stages,
+                                width=width, cloud_gates=20, seed=seed)
+        scanned, _ = insert_scan(module, n_chains=n_chains)
+        digests = fault_sim_digests(scanned, seed=seed,
+                                    batch_size=batch_size)
+        assert digests["compiled"] == digests["words"]
+        assert digests["compiled"] == digests["scalar"]
+
+    def test_worker_count_invariance(self, lib):
+        module = pipeline_block("wrk", lib, stages=2, width=8,
+                                cloud_gates=40, seed=5)
+        scanned, _ = insert_scan(module, n_chains=2)
+        view = CombinationalView(scanned)
+        faults = collapse_faults(scanned, enumerate_faults(scanned))
+        digests = [
+            result_digest(random_pattern_fault_sim(
+                view, faults, rng=np.random.default_rng(3),
+                max_patterns=192, batch_size=64,
+                engine="compiled", workers=workers,
+            ))
+            for workers in (1, 2, 3)
+        ]
+        assert digests[0] == digests[1] == digests[2]
+
+    def test_unscanned_module_identical(self, lib):
+        """Plain flops (perfect-scan model) grade identically too."""
+        module = pipeline_block("plain", lib, stages=2, width=6,
+                                cloud_gates=30, seed=9)
+        digests = fault_sim_digests(module, seed=11)
+        assert digests["compiled"] == digests["words"] == digests["scalar"]
+
+    def test_atpg_identical_across_engines(self, lib):
+        module = pipeline_block("atpg", lib, stages=2, width=6,
+                                cloud_gates=30, seed=2)
+        scanned, _ = insert_scan(module, n_chains=2)
+        reports = {
+            engine: run_atpg(scanned, seed=7, max_random_patterns=128,
+                             engine=engine)
+            for engine in ENGINES
+        }
+        ref = reports["scalar"]
+        for engine in ("words", "compiled"):
+            other = reports[engine]
+            assert other.total_faults == ref.total_faults
+            assert other.detected_random == ref.detected_random
+            assert other.detected_deterministic == ref.detected_deterministic
+            assert other.undetected == ref.undetected
+            assert other.untestable == ref.untestable
+            assert other.patterns_random == ref.patterns_random
+            assert other.patterns_deterministic == ref.patterns_deterministic
+            assert other.coverage_curve == ref.coverage_curve
+
+    def test_engine_knob_validation(self, lib):
+        module = counter_module(lib)
+        view = CombinationalView(module)
+        faults = enumerate_faults(module)
+        with pytest.raises(ValueError):
+            random_pattern_fault_sim(
+                view, faults, rng=np.random.default_rng(0),
+                max_patterns=8, engine="warp")
+        assert resolve_engine(None, "words") == "words"
+        assert resolve_engine("compiled", "words") == "compiled"
+        assert resolve_engine("scalar", "words") == "bigint"
+
+
+def counter_module(lib):
+    module = Module("eng", lib)
+    module.add_port("a", "input")
+    module.add_port("b", "input")
+    module.add_port("y", "output")
+    module.add_instance("u0", "NAND2_X1", {"A": "a", "B": "b", "Y": "y"})
+    return module
+
+
+class TestTrickyFaultSites:
+    """Z-capable, spare-driven and scan-muxed nets must grade
+    identically: these are exactly the sites where an engine that
+    mishandles undriven/control nets silently diverges."""
+
+    def test_floating_net_faults(self, lib):
+        """An undriven (floatable) gate input reads 0 in every engine,
+        and faults on that branch detect identically."""
+        module = Module("flt", lib)
+        module.add_port("a", "input")
+        module.add_port("y", "output")
+        module.add_port("z", "output")
+        # u0.B reads net "float" which nothing drives.
+        module.add_instance("u0", "AND2_X1",
+                            {"A": "a", "B": "float", "Y": "mid"})
+        module.add_instance("u1", "OR2_X1",
+                            {"A": "mid", "B": "a", "Y": "y"})
+        module.add_instance("u2", "INV_X1", {"A": "mid", "Y": "z"})
+        digests = fault_sim_digests(module, seed=1, batch_size=16,
+                                    max_patterns=64)
+        assert digests["compiled"] == digests["words"] == digests["scalar"]
+
+    def test_spare_cell_feed_faults(self, lib):
+        """Spare outputs evaluate as constant-undriven; cones through
+        them must not desync the compiled overlay."""
+        module = Module("spare", lib)
+        module.add_port("a", "input")
+        module.add_port("y", "output")
+        module.add_instance("sp", "SPARE_BLOCK", {"Y": "sp_y"})
+        module.add_instance("u0", "OR2_X1",
+                            {"A": "sp_y", "B": "a", "Y": "y"})
+        digests = fault_sim_digests(module, seed=3, batch_size=16,
+                                    max_patterns=64)
+        assert digests["compiled"] == digests["words"] == digests["scalar"]
+
+    def test_tie_cell_faults(self, lib):
+        module = Module("tie", lib)
+        module.add_port("a", "input")
+        module.add_port("y", "output")
+        module.add_instance("th", "TIEHI", {"Y": "hi"})
+        module.add_instance("tl", "TIELO", {"Y": "lo"})
+        module.add_instance("u0", "AND2_X1",
+                            {"A": "a", "B": "hi", "Y": "m"})
+        module.add_instance("u1", "OR2_X1",
+                            {"A": "m", "B": "lo", "Y": "y"})
+        digests = fault_sim_digests(module, seed=4, batch_size=16,
+                                    max_patterns=64)
+        assert digests["compiled"] == digests["words"] == digests["scalar"]
+
+    def test_icg_enable_faults(self, lib):
+        """ICG cells are combinational AND gates to the fault model;
+        faults on the enable path (observable or not) must agree."""
+        module = Module("icg", lib)
+        module.add_port("clk", "input")
+        module.add_port("en", "input")
+        module.add_port("d", "input")
+        module.add_port("q", "output")
+        module.add_port("en_obs", "output")
+        module.add_instance("g0", "ICG",
+                            {"CK": "clk", "EN": "en", "GCK": "gclk"})
+        module.add_instance("f0", "DFF",
+                            {"D": "d", "CK": "gclk", "Q": "q"})
+        # The enable also feeds observable logic, so some ICG-cone
+        # faults detect and some (clock-path-only) never do.
+        module.add_instance("u0", "INV_X1", {"A": "en", "Y": "en_obs"})
+        faults = enumerate_faults(module)
+        assert any(f.instance == "g0" for f in faults)
+        digests = fault_sim_digests(module, seed=5, batch_size=16,
+                                    max_patterns=64)
+        assert digests["compiled"] == digests["words"] == digests["scalar"]
+
+    def test_scan_enable_path_faults(self, lib):
+        """Scan-muxed design: scan_en and scan_in are control/chain
+        nets (excluded from pseudo inputs, read as constant 0), and
+        faults near them must grade identically on every engine."""
+        module = pipeline_block("sc", lib, stages=2, width=4,
+                                cloud_gates=15, seed=6)
+        scanned, _ = insert_scan(module, n_chains=2)
+        view = CombinationalView(scanned)
+        assert "scan_en" not in view.pseudo_inputs
+        digests = fault_sim_digests(scanned, seed=6, batch_size=32,
+                                    max_patterns=128)
+        assert digests["compiled"] == digests["words"] == digests["scalar"]
+
+
+class TestCompiledKernelUnit:
+    """Direct program-level checks (cache reuse, batch grading)."""
+
+    def test_program_reused_for_subset_universe(self, lib):
+        module = pipeline_block("cache", lib, stages=2, width=4,
+                                cloud_gates=15, seed=8)
+        scanned, _ = insert_scan(module)
+        view = CombinationalView(scanned)
+        faults = collapse_faults(scanned, enumerate_faults(scanned))
+        program = compile_fault_program(view, faults)
+        subset = faults[: len(faults) // 2]
+        assert compile_fault_program(view, subset) is program
+
+    def test_clear_cache_recompiles(self, lib):
+        module = pipeline_block("cache2", lib, stages=1, width=4,
+                                cloud_gates=10, seed=8)
+        scanned, _ = insert_scan(module)
+        view = CombinationalView(scanned)
+        faults = collapse_faults(scanned, enumerate_faults(scanned))
+        program = compile_fault_program(view, faults)
+        clear_fault_program_cache()
+        assert compile_fault_program(view, faults) is not program
+
+    def test_grade_batch_matches_words_kernel(self, lib):
+        module = pipeline_block("grade", lib, stages=2, width=6,
+                                cloud_gates=25, seed=12)
+        scanned, _ = insert_scan(module, n_chains=2)
+        view = CombinationalView(scanned)
+        faults = collapse_faults(scanned, enumerate_faults(scanned))
+        program = compile_fault_program(view, faults)
+        rng = np.random.default_rng(12)
+        remaining = list(faults)
+        for width in (1, 63, 64, 65, 200):
+            bits = view.random_pattern_bits(rng, width)
+            hits = grade_batch(program, bits, width, remaining)
+            assert hits == _batch_first_hits_words(
+                view, bits, width, remaining)
+            remaining = [f for f in remaining if f not in hits]
+
+    def test_single_fault_universe(self, lib):
+        module = counter_module(lib)
+        view = CombinationalView(module)
+        fault = Fault("u0", "Y", 0)
+        program = compile_fault_program(view, [fault])
+        bits = view.random_pattern_bits(np.random.default_rng(0), 8)
+        hits = grade_batch(program, bits, 8, [fault])
+        assert hits == _batch_first_hits_words(view, bits, 8, [fault])

@@ -473,3 +473,47 @@ class TestBatchApi:
         ref = {net for net in module.nets
                if ev_a.read(net) is not ev_b.read(net)}
         assert diverged == ref
+
+
+class TestFaultGradeEquivalence:
+    """The same bit-identity contract, extended to the fault engine:
+    the compiled fault program shares this backend's levelization, so
+    grading many faulty machines as overlay lanes must reproduce the
+    reference kernels exactly -- including on scan-muxed nets and nets
+    the functional engine treats as floatable."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        stages=st.integers(min_value=1, max_value=3),
+        width=st.integers(min_value=2, max_value=5),
+        n_chains=st.integers(min_value=1, max_value=2),
+    )
+    def test_random_scanned_blocks_grade_identically(self, seed, stages,
+                                                     width, n_chains):
+        from repro.dft import (
+            CombinationalView,
+            collapse_faults,
+            enumerate_faults,
+            insert_scan,
+            random_pattern_fault_sim,
+        )
+
+        library = make_default_library(0.25)
+        module = pipeline_block("rnd", library, stages=stages,
+                                width=width, cloud_gates=15, seed=seed)
+        scanned, _ = insert_scan(module, n_chains=n_chains)
+        view = CombinationalView(scanned)
+        faults = collapse_faults(scanned, enumerate_faults(scanned))
+        results = {
+            engine: random_pattern_fault_sim(
+                view, faults, rng=np.random.default_rng(seed),
+                max_patterns=128, batch_size=32, engine=engine)
+            for engine in ("scalar", "words", "compiled")
+        }
+        ref = results["scalar"]
+        for result in (results["words"], results["compiled"]):
+            assert result.detected == ref.detected
+            assert result.coverage_curve == ref.coverage_curve
+            assert result.detection_index == ref.detection_index
+            assert result.effective_patterns == ref.effective_patterns
