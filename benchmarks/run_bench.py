@@ -265,6 +265,53 @@ def bench_compiled_sim(quick: bool) -> dict:
     return out
 
 
+def bench_sta(quick: bool) -> dict:
+    """Largest bench netlist; per-arc scalar walker vs vectorized sweep.
+
+    Both engines consume the same compiled timing graph, load array and
+    table stacks, so the canonical multi-corner QoR JSON must be
+    byte-identical -- that assertion is the signoff contract.  The
+    vectorized sweep analyzes every corner as numpy lanes in one pass
+    and must clear the PERFORMANCE.md arcs/s bar over the scalar
+    reference.
+    """
+    from repro.sta import NldmTimingAnalyzer, TimingConstraints
+
+    lib = make_default_library(0.25)
+    block = pipeline_block("sta_blk", lib,
+                           stages=4 if quick else 6,
+                           width=16 if quick else 32,
+                           cloud_gates=400 if quick else 1600, seed=5)
+    constraints = TimingConstraints(clock_period_ps=7500.0)
+    # Compile outside the timer (graphs are cached per fingerprint),
+    # same convention as the compiled-sim benches.
+    analyzer = NldmTimingAnalyzer(block, constraints)
+    n_corners = len(analyzer.library.corners)
+    arcs = analyzer.graph.num_arcs * n_corners
+    repeats = 2 if quick else 5
+
+    out = {"netlist": "pipeline_block", "cells": len(block.instances),
+           "arcs_per_sweep": arcs, "corners": n_corners,
+           "repeats": repeats}
+    reports = {}
+    for label in ("scalar", "vectorized"):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            report = analyzer.analyze(engine=label)
+        elapsed = time.perf_counter() - start
+        reports[label] = report
+        out[label] = {"arcs_per_s": arcs * repeats / elapsed,
+                      "seconds": elapsed,
+                      "wns_ps": report.wns_ps}
+    # Byte-identical QoR across engines: the determinism contract.
+    assert (reports["scalar"].canonical_json()
+            == reports["vectorized"].canonical_json()), "QoR JSON diverged"
+    out["speedup"] = (out["vectorized"]["arcs_per_s"]
+                      / out["scalar"]["arcs_per_s"])
+    assert out["speedup"] >= (3.0 if quick else 10.0), out
+    return out
+
+
 def bench_fixpoint(quick: bool) -> dict:
     """Dataflow fixpoint engine over the DSC block set.
 
@@ -326,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         "placement": bench_placement(args.quick),
         "simulator": bench_simulator(args.quick),
         "compiled_sim": bench_compiled_sim(args.quick),
+        "sta": bench_sta(args.quick),
         "fixpoint": bench_fixpoint(args.quick),
     }
     results["perf_registry"] = REGISTRY.as_dict()
@@ -367,6 +415,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{comp_section['compiled']['lane_cycles_per_s']:>12,.0f} "
           f"{'cycles/s':10s} ({comp_section['speedup']:.1f}x, "
           f"{comp_section['lanes']} lanes, identical traces)")
+    sta_section = results["sta"]
+    print(f"{'sta':18s} {sta_section['scalar']['arcs_per_s']:>12,.0f}"
+          f" -> {sta_section['vectorized']['arcs_per_s']:>12,.0f} "
+          f"{'arcs/s':10s} ({sta_section['speedup']:.1f}x, "
+          f"{sta_section['corners']} corners, identical QoR)")
     fix_section = results["fixpoint"]
     print(f"{'fixpoint':18s} {fix_section['serial']['gates_per_s']:>12,.0f}"
           f" -> {fix_section['fanout']['gates_per_s']:>12,.0f} "

@@ -11,6 +11,7 @@ writing scripts:
     python -m repro pins          # substrate 4 -> 2 layers
     python -m repro migrate       # 0.25 -> 0.18 um die cost
     python -m repro regress       # E13 cross-simulator regression
+    python -m repro sta           # multi-corner NLDM signoff STA
     python -m repro cover         # coverage-closure loop (DSC bench)
     python -m repro lint          # static design-rule analysis (DSC)
 
@@ -171,6 +172,22 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return 0 if cross.consistent else 1
 
 
+def _cmd_sta(args: argparse.Namespace) -> int:
+    from .netlist import make_default_library, pipeline_block
+    from .sta import TimingConstraints, analyze_timing
+
+    library = make_default_library(0.25)
+    module = pipeline_block("blk", library, stages=args.stages,
+                            width=args.width,
+                            cloud_gates=args.cloud_gates, seed=args.seed)
+    constraints = TimingConstraints(clock_period_ps=args.period)
+    corners = args.corner.split(",") if args.corner else None
+    report = analyze_timing(module, constraints, corners=corners,
+                            engine=args.engine, workers=args.workers)
+    print(report.canonical_json() if args.json else report.format_report())
+    return 0 if report.setup_clean and report.hold_clean else 1
+
+
 def _cmd_cover(args: argparse.Namespace) -> int:
     from .coverage import ClosureConfig, close_coverage, dsc_closure_bench
 
@@ -297,6 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "verdicts; compiled packs benches into "
                               "word-parallel lanes)")
     regress.set_defaults(func=_cmd_regress)
+
+    sta = sub.add_parser(
+        "sta", help="multi-corner NLDM signoff STA on a generated block")
+    sta.add_argument("--stages", type=int, default=4)
+    sta.add_argument("--width", type=int, default=12)
+    sta.add_argument("--cloud-gates", type=int, default=120)
+    sta.add_argument("--seed", type=int, default=3)
+    sta.add_argument("--period", type=float, default=7500.0,
+                     help="clock period in ps (default 7.5 ns = 133 MHz)")
+    sta.add_argument("--corner", default="",
+                     help="comma-separated corner names (e.g. ss,ff); "
+                          "default: every library corner")
+    sta.add_argument("--engine", choices=("vectorized", "scalar"),
+                     default="vectorized",
+                     help="sweep engine (bit-identical QoR; vectorized "
+                          "analyzes every corner in one numpy pass)")
+    sta.add_argument("--workers", type=int, default=None,
+                     help="corner fan-out processes (scalar engine)")
+    sta.add_argument("--json", action="store_true",
+                     help="emit the canonical QoR JSON (byte-identical "
+                          "across engines and worker counts)")
+    sta.set_defaults(func=_cmd_sta)
 
     cover = sub.add_parser(
         "cover", help="coverage-closure loop on the DSC bench")

@@ -1,0 +1,52 @@
+"""repro.liberty -- characterized NLDM cell library for signoff STA.
+
+The signoff data layer of the flow: deterministic characterization of
+the netlist standard-cell library into NLDM lookup tables
+(:mod:`repro.liberty.characterize`), an immutable
+:class:`CellLibrary` object model with multi-corner derates and stable
+fingerprints (:mod:`repro.liberty.library`), the bilinear table
+interpolation shared by both STA engines
+(:mod:`repro.liberty.tables`), and a Liberty-subset text format with
+exact float round-trip (:mod:`repro.liberty.libfile`).
+
+Consumers: :mod:`repro.sta` (table-driven multi-corner timing),
+:mod:`repro.eco` (library-priced upsize/Vt-swap moves),
+:mod:`repro.lowpower` (characterized leakage/internal power) and
+:mod:`repro.physical` (corner-derated wire capacitance).
+"""
+
+from .characterize import (
+    DEFAULT_LOAD_INDEX_FF,
+    DEFAULT_SLEW_INDEX_PS,
+    characterize_library,
+    default_cell_library,
+)
+from .library import (
+    STANDARD_CORNERS,
+    CellLibrary,
+    Corner,
+    LibertyCell,
+    LibertyPin,
+    TimingArc,
+)
+from .libfile import LibertyParseError, parse_lib, write_lib
+from .tables import lookup_scalar, lookup_vector, table_array
+
+__all__ = [
+    "DEFAULT_LOAD_INDEX_FF",
+    "DEFAULT_SLEW_INDEX_PS",
+    "STANDARD_CORNERS",
+    "CellLibrary",
+    "Corner",
+    "LibertyCell",
+    "LibertyParseError",
+    "LibertyPin",
+    "TimingArc",
+    "characterize_library",
+    "default_cell_library",
+    "lookup_scalar",
+    "lookup_vector",
+    "parse_lib",
+    "table_array",
+    "write_lib",
+]

@@ -1,0 +1,390 @@
+"""Liberty-subset text format: serializer and parser.
+
+:func:`write_lib` emits a :class:`CellLibrary` as a Liberty-style
+group tree (``library { cell { pin { timing { ... } } } }``) and
+:func:`parse_lib` reads it back.  The subset keeps Liberty's surface
+syntax -- groups with parenthesized arguments, ``name : value;``
+simple attributes, ``name ("...", ...);`` complex attributes, ``/* */``
+and ``//`` comments -- but only the constructs this repo produces.
+
+Floats are serialized with ``repr``, which Python guarantees to
+round-trip exactly, so ``parse_lib(write_lib(lib)) == lib`` holds
+bit-for-bit and the fingerprint survives a trip through the text
+format unchanged (the library round-trip contract in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .library import CellLibrary, Corner, LibertyCell, LibertyPin, TimingArc
+from .tables import TableValues
+
+# ---------------------------------------------------------------------------
+# Generic group-tree model + tokenizer + parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LibertyGroup:
+    """One parsed ``kind (args) { ... }`` group."""
+
+    kind: str
+    args: tuple[str, ...]
+    attrs: dict[str, str] = field(default_factory=dict)
+    complex_attrs: list[tuple[str, tuple[str, ...]]] = field(
+        default_factory=list)
+    children: list["LibertyGroup"] = field(default_factory=list)
+
+    def child(self, kind: str) -> "LibertyGroup | None":
+        """First child group of one kind, or None."""
+        for group in self.children:
+            if group.kind == kind:
+                return group
+        return None
+
+    def children_of(self, kind: str) -> list["LibertyGroup"]:
+        """All child groups of one kind, in file order."""
+        return [g for g in self.children if g.kind == kind]
+
+    def complex_attr(self, name: str) -> tuple[str, ...]:
+        """Arguments of the first complex attribute with this name."""
+        for attr, args in self.complex_attrs:
+            if attr == name:
+                return args
+        raise KeyError(f"group {self.kind} has no complex attr {name!r}")
+
+
+class LibertyParseError(ValueError):
+    """Raised on malformed library text."""
+
+
+_SYMBOLS = set("{}():;,")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LibertyParseError("unterminated /* comment")
+            i = end + 2
+        elif text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+        elif ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise LibertyParseError("unterminated string literal")
+            tokens.append(text[i:end + 1])
+            i = end + 1
+        elif ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2  # Liberty line continuation
+        elif ch in _SYMBOLS:
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in _SYMBOLS \
+                    and text[j] != '"':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    return token
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self, offset: int = 0) -> str | None:
+        idx = self._pos + offset
+        return self._tokens[idx] if idx < len(self._tokens) else None
+
+    def _next(self) -> str:
+        if self._pos >= len(self._tokens):
+            raise LibertyParseError("unexpected end of input")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, symbol: str) -> None:
+        token = self._next()
+        if token != symbol:
+            raise LibertyParseError(f"expected {symbol!r}, got {token!r}")
+
+    def _arg_list(self) -> tuple[str, ...]:
+        self._expect("(")
+        args: list[str] = []
+        while True:
+            token = self._peek()
+            if token == ")":
+                self._next()
+                return tuple(args)
+            if token == ",":
+                self._next()
+                continue
+            args.append(_unquote(self._next()))
+
+    def parse_group(self) -> LibertyGroup:
+        kind = self._next()
+        args = self._arg_list()
+        self._expect("{")
+        group = LibertyGroup(kind=kind, args=args)
+        self._parse_body_into(group)
+        return group
+
+    def _parse_body_into(self, group: LibertyGroup) -> None:
+        while True:
+            token = self._peek()
+            if token is None:
+                raise LibertyParseError(f"unterminated group {group.kind!r}")
+            if token == "}":
+                self._next()
+                return
+            name = self._next()
+            follow = self._peek()
+            if follow == ":":
+                self._next()
+                value = _unquote(self._next())
+                self._expect(";")
+                group.attrs[name] = value
+            elif follow == "(":
+                # Either a nested group or a complex attribute --
+                # disambiguated by what follows the closing paren.
+                attr_args = self._arg_list()
+                after = self._peek()
+                if after == "{":
+                    self._next()
+                    child = LibertyGroup(kind=name, args=attr_args)
+                    self._parse_body_into(child)
+                    group.children.append(child)
+                else:
+                    self._expect(";")
+                    group.complex_attrs.append((name, attr_args))
+            else:
+                raise LibertyParseError(
+                    f"expected ':' or '(' after {name!r}, got {follow!r}")
+
+
+def parse_groups(text: str) -> LibertyGroup:
+    """Parse library text into its top-level group tree."""
+    parser = _Parser(_tokenize(text))
+    group = parser.parse_group()
+    if parser._peek() is not None:
+        raise LibertyParseError(
+            f"trailing tokens after library group: {parser._peek()!r}")
+    return group
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    """Exact round-trip float formatting (``float(repr(x)) == x``)."""
+    return repr(float(value))
+
+
+def _grid_string(grid: tuple[float, ...]) -> str:
+    return '"' + ", ".join(_fmt(x) for x in grid) + '"'
+
+
+def _values_lines(values: TableValues, indent: str) -> str:
+    rows = [f'"{", ".join(_fmt(v) for v in row)}"' for row in values]
+    joiner = ", \\\n" + indent + "        "
+    return joiner.join(rows)
+
+
+def _write_table(out: list[str], name: str, template: str,
+                 values: TableValues, indent: str) -> None:
+    out.append(f"{indent}{name} ({template}) {{")
+    out.append(f"{indent}    values ( \\")
+    out.append(f"{indent}        {_values_lines(values, indent)} \\")
+    out.append(f"{indent}    );")
+    out.append(f"{indent}}}")
+
+
+def _bool(flag: bool) -> str:
+    return "true" if flag else "false"
+
+
+def write_lib(library: CellLibrary) -> str:
+    """Serialize a :class:`CellLibrary` as Liberty-subset text."""
+    template = (
+        f"tmpl_{len(library.slew_index_ps)}x{len(library.load_index_ff)}"
+    )
+    out: list[str] = []
+    out.append(f"library ({library.name}) {{")
+    out.append("    /* generated by repro.liberty; units: ps, fF, nW, fJ */")
+    out.append(f'    source_library : "{library.source_library}";')
+    out.append(f"    process_node_um : {_fmt(library.process_node_um)};")
+    out.append(f"    characterization_seed : {library.seed};")
+    out.append(
+        f"    wire_cap_ff_per_um : {_fmt(library.wire_cap_ff_per_um)};")
+
+    out.append(f"    lu_table_template ({template}) {{")
+    out.append("        variable_1 : input_net_transition;")
+    out.append("        variable_2 : total_output_net_capacitance;")
+    out.append(f"        index_1 ({_grid_string(library.slew_index_ps)});")
+    out.append(f"        index_2 ({_grid_string(library.load_index_ff)});")
+    out.append("    }")
+
+    for corner in library.corners:
+        out.append(f"    operating_conditions ({corner.name}) {{")
+        out.append(f"        delay_derate : {_fmt(corner.delay_derate)};")
+        out.append(f"        slew_derate : {_fmt(corner.slew_derate)};")
+        out.append(f"        voltage : {_fmt(corner.vdd_v)};")
+        out.append(
+            f"        leakage_derate : {_fmt(corner.leakage_derate)};")
+        out.append(f"        wire_derate : {_fmt(corner.wire_derate)};")
+        out.append("    }")
+
+    for name in sorted(library.cells):
+        cell = library.cells[name]
+        out.append(f"    cell ({cell.name}) {{")
+        out.append(f"        area : {_fmt(cell.area_um2)};")
+        out.append(
+            f"        cell_leakage_power : {_fmt(cell.leakage_nw)};")
+        out.append(f'        vt_class : "{cell.vt_class}";')
+        out.append(f"        drive_strength : {cell.drive_strength};")
+        out.append(f'        cell_footprint : "{cell.footprint}";')
+        out.append(f"        is_sequential : {_bool(cell.is_sequential)};")
+        if cell.clock_pin is not None:
+            out.append(f'        clock_pin : "{cell.clock_pin}";')
+        if cell.data_pin is not None:
+            out.append(f'        data_pin : "{cell.data_pin}";')
+        for pin in cell.pins:
+            out.append(f"        pin ({pin.name}) {{")
+            out.append(f"            direction : {pin.direction};")
+            out.append(
+                f"            capacitance : {_fmt(pin.capacitance_ff)};")
+            if pin.is_clock:
+                out.append("            clock : true;")
+            for arc in cell.arcs:
+                if arc.output_pin != pin.name:
+                    continue
+                out.append("            timing () {")
+                out.append(f'                related_pin : "{arc.related_pin}";')
+                out.append(f"                timing_type : {arc.kind};")
+                _write_table(out, "cell_delay", template, arc.delay_ps,
+                             "                ")
+                _write_table(out, "output_transition", template,
+                             arc.transition_ps, "                ")
+                _write_table(out, "internal_energy", template,
+                             arc.internal_energy_fj, "                ")
+                out.append("            }")
+            out.append("        }")
+        out.append("    }")
+    out.append("}")
+    out.append("")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Deserialization
+# ---------------------------------------------------------------------------
+
+
+def _parse_grid(group: LibertyGroup, attr: str) -> tuple[float, ...]:
+    (raw,) = group.complex_attr(attr)
+    return tuple(float(tok) for tok in raw.split(","))
+
+
+def _parse_table(group: LibertyGroup) -> TableValues:
+    rows = group.complex_attr("values")
+    return tuple(
+        tuple(float(tok) for tok in row.split(",")) for row in rows
+    )
+
+
+def _parse_corner(group: LibertyGroup) -> Corner:
+    return Corner(
+        name=group.args[0],
+        delay_derate=float(group.attrs["delay_derate"]),
+        slew_derate=float(group.attrs["slew_derate"]),
+        vdd_v=float(group.attrs["voltage"]),
+        leakage_derate=float(group.attrs["leakage_derate"]),
+        wire_derate=float(group.attrs["wire_derate"]),
+    )
+
+
+def _parse_cell(group: LibertyGroup) -> LibertyCell:
+    pins: list[LibertyPin] = []
+    arcs: list[TimingArc] = []
+    for pin_group in group.children_of("pin"):
+        pins.append(
+            LibertyPin(
+                name=pin_group.args[0],
+                direction=pin_group.attrs["direction"],
+                capacitance_ff=float(pin_group.attrs["capacitance"]),
+                is_clock=pin_group.attrs.get("clock") == "true",
+            )
+        )
+        for timing in pin_group.children_of("timing"):
+            tables: dict[str, TableValues] = {}
+            for table_group in timing.children:
+                tables[table_group.kind] = _parse_table(table_group)
+            arcs.append(
+                TimingArc(
+                    related_pin=timing.attrs["related_pin"],
+                    output_pin=pin_group.args[0],
+                    kind=timing.attrs["timing_type"],
+                    delay_ps=tables["cell_delay"],
+                    transition_ps=tables["output_transition"],
+                    internal_energy_fj=tables["internal_energy"],
+                )
+            )
+    return LibertyCell(
+        name=group.args[0],
+        area_um2=float(group.attrs["area"]),
+        leakage_nw=float(group.attrs["cell_leakage_power"]),
+        vt_class=group.attrs["vt_class"],
+        drive_strength=int(group.attrs["drive_strength"]),
+        footprint=group.attrs["cell_footprint"],
+        is_sequential=group.attrs["is_sequential"] == "true",
+        clock_pin=group.attrs.get("clock_pin"),
+        data_pin=group.attrs.get("data_pin"),
+        pins=tuple(pins),
+        arcs=tuple(arcs),
+    )
+
+
+def parse_lib(text: str) -> CellLibrary:
+    """Parse Liberty-subset text back into a :class:`CellLibrary`."""
+    root = parse_groups(text)
+    if root.kind != "library":
+        raise LibertyParseError(f"expected library group, got {root.kind!r}")
+    template = root.child("lu_table_template")
+    if template is None:
+        raise LibertyParseError("library has no lu_table_template")
+    corners = tuple(
+        _parse_corner(g) for g in root.children_of("operating_conditions")
+    )
+    cells = {
+        g.args[0]: _parse_cell(g) for g in root.children_of("cell")
+    }
+    return CellLibrary(
+        name=root.args[0],
+        source_library=root.attrs["source_library"],
+        process_node_um=float(root.attrs["process_node_um"]),
+        seed=int(root.attrs["characterization_seed"]),
+        slew_index_ps=_parse_grid(template, "index_1"),
+        load_index_ff=_parse_grid(template, "index_2"),
+        wire_cap_ff_per_um=float(root.attrs["wire_cap_ff_per_um"]),
+        corners=corners,
+        cells=cells,
+    )

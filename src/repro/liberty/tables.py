@@ -1,0 +1,148 @@
+"""NLDM lookup tables and bilinear interpolation.
+
+A Liberty NLDM timing arc is a small 2-D table of values indexed by
+(input transition, output load).  This module owns the two lookup
+implementations the STA engines use:
+
+* :func:`lookup_scalar` -- one (slew, load) point at a time, plain
+  Python arithmetic, used by the retained per-arc reference walker;
+* :func:`lookup_vector` -- batched numpy lookup over arrays of query
+  points against a stack of tables, used by the vectorized sweep.
+
+Both clamp queries to the characterized grid (no extrapolation) and
+evaluate the *same* bilinear formula in the same operation order, so a
+scalar lookup and the corresponding lane of a vector lookup return
+bit-identical float64 values -- the foundation of the engine
+equivalence contract in :mod:`repro.sta.nldm`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+
+#: Table values are stored row-major as ``values[slew_index][load_index]``.
+TableValues = tuple[tuple[float, ...], ...]
+
+
+def grid_interval_scalar(grid: tuple[float, ...], x: float) -> tuple[int, float]:
+    """Clamped interval index and fraction for one query on one axis.
+
+    Returns ``(i, f)`` with ``grid[i] <= x' <= grid[i+1]`` where ``x'``
+    is ``x`` clamped into ``[grid[0], grid[-1]]`` and
+    ``f = (x' - grid[i]) / (grid[i+1] - grid[i])``.
+    """
+    lo, hi = grid[0], grid[-1]
+    if x < lo:
+        x = lo
+    elif x > hi:
+        x = hi
+    i = bisect_right(grid, x) - 1
+    last = len(grid) - 2
+    if i < 0:
+        i = 0
+    elif i > last:
+        i = last
+    return i, (x - grid[i]) / (grid[i + 1] - grid[i])
+
+
+def grid_interval_vector(
+    grid: FloatArray, x: FloatArray
+) -> tuple[IntArray, FloatArray]:
+    """Vectorized :func:`grid_interval_scalar` over an array of queries."""
+    clamped = np.clip(x, grid[0], grid[-1])
+    i = np.searchsorted(grid, clamped, side="right") - 1
+    i = np.clip(i, 0, len(grid) - 2)
+    return i, (clamped - grid[i]) / (grid[i + 1] - grid[i])
+
+
+def bilinear_scalar(
+    values: FloatArray,
+    si: int,
+    fs: float,
+    li: int,
+    fl: float,
+) -> float:
+    """Bilinear blend of one table cell; ``values`` is a 2-D float64 array."""
+    v00 = values[si, li]
+    v01 = values[si, li + 1]
+    v10 = values[si + 1, li]
+    v11 = values[si + 1, li + 1]
+    v0 = v00 + (v01 - v00) * fl
+    v1 = v10 + (v11 - v10) * fl
+    return float(v0 + (v1 - v0) * fs)
+
+
+def lookup_scalar(
+    values: FloatArray,
+    slew_grid: tuple[float, ...],
+    load_grid: tuple[float, ...],
+    slew: float,
+    load: float,
+) -> float:
+    """Interpolate one NLDM table at one (slew, load) query point."""
+    si, fs = grid_interval_scalar(slew_grid, slew)
+    li, fl = grid_interval_scalar(load_grid, load)
+    return bilinear_scalar(values, si, fs, li, fl)
+
+
+def lookup_vector(
+    tables: FloatArray,
+    table_ids: IntArray,
+    slew_grid: FloatArray,
+    load_grid: FloatArray,
+    slews: FloatArray,
+    loads: FloatArray,
+) -> FloatArray:
+    """Batched bilinear lookup against a ``[T, S, L]`` table stack.
+
+    ``table_ids`` selects a table per query; ``slews``/``loads`` are
+    broadcast-compatible query arrays (the STA sweep passes
+    ``[corners, arcs]`` slews against ``[arcs]`` ids and loads).
+    Returns float64 results with the broadcast shape.
+    """
+    si, fs = grid_interval_vector(slew_grid, slews)
+    li, fl = grid_interval_vector(load_grid, loads)
+    v00 = tables[table_ids, si, li]
+    v01 = tables[table_ids, si, li + 1]
+    v10 = tables[table_ids, si + 1, li]
+    v11 = tables[table_ids, si + 1, li + 1]
+    v0 = v00 + (v01 - v00) * fl
+    v1 = v10 + (v11 - v10) * fl
+    return np.asarray(v0 + (v1 - v0) * fs, dtype=np.float64)
+
+
+def table_array(values: TableValues) -> FloatArray:
+    """A table's tuple-of-tuples payload as a float64 array."""
+    return np.asarray(values, dtype=np.float64)
+
+
+def validate_table(
+    values: TableValues,
+    slew_grid: tuple[float, ...],
+    load_grid: tuple[float, ...],
+    *,
+    name: str = "table",
+) -> None:
+    """Check table/grid shape consistency; raises ``ValueError``."""
+    if len(slew_grid) < 2 or len(load_grid) < 2:
+        raise ValueError(f"{name}: grids need at least 2 points per axis")
+    if any(b <= a for a, b in zip(slew_grid, slew_grid[1:])):
+        raise ValueError(f"{name}: slew grid must be strictly increasing")
+    if any(b <= a for a, b in zip(load_grid, load_grid[1:])):
+        raise ValueError(f"{name}: load grid must be strictly increasing")
+    if len(values) != len(slew_grid):
+        raise ValueError(
+            f"{name}: {len(values)} rows != {len(slew_grid)} slew points"
+        )
+    for row in values:
+        if len(row) != len(load_grid):
+            raise ValueError(
+                f"{name}: row width {len(row)} != {len(load_grid)} "
+                "load points"
+            )

@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..netlist import Module
+from ..netlist.netlist import Instance
 from ..sta import TimingAnalyzer, TimingConstraints
 from .power import estimate_power
 
@@ -171,7 +172,7 @@ def multi_vt_leakage_recovery(
     arrivals = analyzer.compute_arrivals(worst=True)
     # Cheap criticality proxy: a cell whose output arrival is early is
     # off-critical.
-    def criticality(inst) -> float:
+    def criticality(inst: Instance) -> float:
         out_net = inst.net_of(inst.cell.output_pins[0])
         return arrivals.get(out_net, 0.0)
 

@@ -1,30 +1,47 @@
-"""Power estimation: dynamic, clock-tree and leakage components.
+"""Power estimation: dynamic, clock-tree, internal and leakage
+components from the characterized library.
 
-Dynamic power follows the classic alpha*C*V^2*f per net; the clock
+Net switching power follows the classic alpha*C*V^2*f per net with
+pin capacitances, supply voltage and leakage all taken from a
+:class:`repro.liberty.CellLibrary` at a named process corner; each
+cell additionally dissipates *internal* power per switching event,
+interpolated from its characterized per-arc energy tables.  The clock
 tree is broken out separately because clock gating (the Section-4
-"gated clock" item) attacks exactly that term.
+"gated clock" item) attacks exactly that term -- flop clock-pin and
+clock-buffer internal power follows the *clock* activity (1 per cycle,
+or the enable activity behind an ICG), never the data activity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..liberty import CellLibrary, LibertyCell, default_cell_library
+from ..liberty.tables import lookup_scalar, table_array
 from ..netlist import Module
-from ..sta import TimingAnalyzer, TimingConstraints
+from ..sta import TimingConstraints
 
-#: Core supply voltage at 0.25 um.
+#: Core supply voltage at the typical corner of the 0.25 um node --
+#: the reference the internal-energy tables are characterized at.
 VDD_V = 2.5
 
 
 @dataclass(frozen=True)
 class PowerReport:
-    """Power breakdown for one module at one operating point."""
+    """Power breakdown for one module at one operating point.
+
+    Internal power is folded into the switching buckets it belongs to:
+    combinational cell internal energy into
+    ``combinational_dynamic_mw``, sequential clock-pin and clock-tree
+    buffer internal energy into ``clock_tree_mw``.
+    """
 
     clock_mhz: float
     activity: float
     combinational_dynamic_mw: float
     clock_tree_mw: float
     leakage_mw: float
+    corner: str = "tt"
 
     @property
     def total_mw(self) -> float:
@@ -35,7 +52,7 @@ class PowerReport:
         return "\n".join(
             [
                 f"Power @ {self.clock_mhz:.0f} MHz, activity "
-                f"{self.activity:.2f}",
+                f"{self.activity:.2f} [{self.corner}]",
                 f"  combinational : {self.combinational_dynamic_mw:8.3f} mW",
                 f"  clock tree    : {self.clock_tree_mw:8.3f} mW",
                 f"  leakage       : {self.leakage_mw:8.3f} mW",
@@ -50,25 +67,43 @@ def estimate_power(
     clock_mhz: float = 133.0,
     activity: float = 0.15,
     clock_port: str = "clk",
+    library: CellLibrary | None = None,
+    corner: str = "tt",
 ) -> PowerReport:
-    """Estimate the power breakdown of a module.
+    """Estimate the power breakdown of a module at one corner.
 
     * combinational nets switch at ``activity`` transitions/cycle;
     * flop clock pins and gated-clock nets switch every cycle (alpha=1)
       unless behind an ICG, in which case they switch at the ICG's
       enable activity (approximated by ``activity``);
-    * leakage is summed from cell characterisation.
+    * every switching cell event adds its characterized internal
+      energy, interpolated at (input slew, output load);
+    * leakage is summed from the characterized library, scaled by the
+      corner's leakage derate (the FF-corner leakage blow-up of
+      Section 4).
     """
     if not 0.0 < activity <= 1.0:
         raise ValueError("activity must be in (0, 1]")
-    analyzer = TimingAnalyzer(
-        module, TimingConstraints(clock_period_ps=1e6 / clock_mhz)
-    )
-    f_hz = clock_mhz * 1e6
-    half_cv2 = 0.5 * VDD_V**2
+    lib = library if library is not None else default_cell_library(
+        module.library)
+    corner_obj = lib.corner(corner)
+    constraints = TimingConstraints(clock_period_ps=1e6 / clock_mhz)
 
-    comb_w = 0.0
-    clock_w = 0.0
+    f_hz = clock_mhz * 1e6
+    vdd = corner_obj.vdd_v
+    half_cv2 = 0.5 * vdd**2
+    #: Internal tables are characterized at the nominal supply; energy
+    #: scales with the square of the actual rail.
+    energy_scale = (vdd / VDD_V) ** 2
+
+    def net_load_ff(net_name: str) -> float:
+        net = module.nets[net_name]
+        cap = 0.0
+        for ref in net.loads:
+            inst = module.instances[ref.instance]
+            cap += lib.cell(inst.cell.name).pin(ref.pin).capacitance_ff
+        wire = constraints.wire_cap_per_fanout_ff * max(net.fanout, 1)
+        return cap + wire * corner_obj.wire_derate
 
     # Clock network: every net reachable from the clock port through
     # clock gates / buffers, plus every flop CK pin.
@@ -92,23 +127,73 @@ def estimate_power(
         if inst.cell.is_clock_gate:
             gated_nets.add(inst.net_of("GCK"))
 
+    def clock_alpha(net_name: str) -> float:
+        return activity if net_name in gated_nets else 1.0
+
+    comb_w = 0.0
+    clock_w = 0.0
+
+    # Net switching power.
     for net_name, net in module.nets.items():
         if not net.is_driven and net.driver_port is None:
             continue
-        cap_f = analyzer.load_cap_ff(net_name) * 1e-15
+        cap_f = net_load_ff(net_name) * 1e-15
         if net_name in clock_nets:
-            alpha = activity if net_name in gated_nets else 1.0
-            clock_w += alpha * cap_f * half_cv2 * f_hz * 2  # 2 edges
+            clock_w += clock_alpha(net_name) * cap_f * half_cv2 * f_hz * 2
         else:
             comb_w += activity * cap_f * half_cv2 * f_hz
 
+    # Cell internal power: characterized energy per event at the
+    # cell's (input slew, output load) operating point.
+    def internal_energy_j(lib_cell: LibertyCell, out_pin: str, slew_ps: float,
+                          load_ff: float) -> float:
+        worst_fj = 0.0
+        for arc in lib_cell.arcs_to(out_pin):
+            energy = lookup_scalar(
+                table_array(arc.internal_energy_fj),
+                lib.slew_index_ps, lib.load_index_ff, slew_ps, load_ff,
+            )
+            worst_fj = max(worst_fj, energy)
+        return worst_fj * energy_scale * 1e-15
+
+    for inst in module.instances.values():
+        lib_cell = lib.cell(inst.cell.name)
+        for out_pin in inst.cell.output_pins:
+            if not lib_cell.arcs_to(out_pin):
+                continue  # tie/spare cells never switch
+            out_net = inst.net_of(out_pin)
+            load_ff = net_load_ff(out_net)
+            if inst.cell.is_sequential:
+                # Clock-to-Q internal energy fires once per clock pin
+                # event -- tied to the clock net's activity, so gating
+                # the clock removes it too.
+                ck_net = (
+                    inst.net_of(inst.cell.clock_pin)
+                    if inst.cell.clock_pin is not None else clock_port
+                )
+                energy = internal_energy_j(
+                    lib_cell, out_pin, constraints.clock_slew_ps, load_ff)
+                clock_w += clock_alpha(ck_net) * energy * f_hz
+            elif out_net in clock_nets:
+                # Clock-tree buffers and ICGs toggle with the clock.
+                energy = internal_energy_j(
+                    lib_cell, out_pin, constraints.clock_slew_ps, load_ff)
+                clock_w += clock_alpha(out_net) * energy * f_hz * 2
+            else:
+                energy = internal_energy_j(
+                    lib_cell, out_pin, constraints.input_slew_ps, load_ff)
+                comb_w += activity * energy * f_hz
+
     leakage_w = sum(
-        inst.cell.leakage_nw for inst in module.instances.values()
-    ) * 1e-9
+        lib.cell(inst.cell.name).leakage_nw
+        for inst in module.instances.values()
+    ) * corner_obj.leakage_derate * 1e-9
+
     return PowerReport(
         clock_mhz=clock_mhz,
         activity=activity,
         combinational_dynamic_mw=comb_w * 1e3,
         clock_tree_mw=clock_w * 1e3,
         leakage_mw=leakage_w * 1e3,
+        corner=corner,
     )

@@ -20,6 +20,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..liberty import CellLibrary
 from ..netlist import Module
 from ..perf import fanout, stage_timer
 from ..sta import TimingAnalyzer, TimingConstraints
@@ -499,11 +500,27 @@ class AnnealingPlacer:
 
     # -- STA feedback -----------------------------------------------------------
 
-    def wire_caps_ff(self, placement: Placement) -> dict[str, float]:
-        """Per-net wire capacitance from placed HPWL, for STA."""
+    def wire_caps_ff(
+        self,
+        placement: Placement,
+        *,
+        library: CellLibrary | None = None,
+        corner: str = "tt",
+    ) -> dict[str, float]:
+        """Per-net wire capacitance from placed HPWL, for STA.
+
+        With a characterized ``library`` the per-micron capacitance
+        comes from the library's process node, derated to ``corner``;
+        otherwise the legacy flat constant applies (identical numbers
+        at the typical corner of the default 0.25 um node).
+        """
+        if library is not None:
+            cap_per_um = library.wire_cap_per_um(corner)
+        else:
+            cap_per_um = WIRE_CAP_FF_PER_UM
         caps: dict[str, float] = {}
         for net in self._net_pins:
             caps[net] = (
-                self._net_hpwl(net, placement.locations) * WIRE_CAP_FF_PER_UM
+                self._net_hpwl(net, placement.locations) * cap_per_um
             )
         return caps

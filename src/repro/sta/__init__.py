@@ -1,4 +1,14 @@
-"""Static timing analysis: linear delay model, setup/hold, QoR."""
+"""Static timing analysis.
+
+Two generations live side by side:
+
+* :class:`TimingAnalyzer` -- the legacy linear delay model
+  (intrinsic + R * C), kept for the flow stages that predate the
+  characterized library;
+* :class:`NldmTimingAnalyzer` -- table-driven multi-corner signoff
+  STA over a :class:`repro.liberty.CellLibrary`, with a vectorized
+  level-sweep engine and a bit-identical scalar reference.
+"""
 
 from .analyzer import (
     PathPoint,
@@ -7,11 +17,27 @@ from .analyzer import (
     TimingConstraints,
     TimingReport,
 )
+from .nldm import (
+    CornerTimingReport,
+    MultiCornerTimingReport,
+    NldmPathPoint,
+    NldmTimingAnalyzer,
+    TimingGraph,
+    analyze_timing,
+    compile_timing_graph,
+)
 
 __all__ = [
+    "CornerTimingReport",
+    "MultiCornerTimingReport",
+    "NldmPathPoint",
+    "NldmTimingAnalyzer",
     "PathPoint",
     "PathReport",
     "TimingAnalyzer",
     "TimingConstraints",
+    "TimingGraph",
     "TimingReport",
+    "analyze_timing",
+    "compile_timing_graph",
 ]

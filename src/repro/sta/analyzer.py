@@ -41,6 +41,10 @@ class TimingConstraints:
     #: Estimated extra wire capacitance per fanout pin when no placed
     #: wire capacitances are supplied.
     wire_cap_per_fanout_ff: float = 3.0
+    #: Transition time assumed at input ports (NLDM table lookups).
+    input_slew_ps: float = 40.0
+    #: Clock edge transition at flop clock pins (NLDM table lookups).
+    clock_slew_ps: float = 30.0
 
     def __post_init__(self) -> None:
         if self.clock_period_ps <= 0:
@@ -156,9 +160,18 @@ class TimingAnalyzer:
             wire = self.constraints.wire_cap_per_fanout_ff * max(net.fanout, 1)
         return cap + wire
 
-    def stage_delay_ps(self, inst: Instance) -> float:
-        """Delay through one cell driving its output net."""
-        out_net = inst.net_of(inst.cell.output_pins[0])
+    def stage_delay_ps(self, inst: Instance, output_pin: str | None = None
+                       ) -> float:
+        """Delay through one cell driving one of its output nets.
+
+        ``output_pin`` defaults to the first output -- the only output
+        for every cell in the default library -- but multi-output
+        cells (e.g. a full adder's sum/carry) time each output against
+        its own load.
+        """
+        if output_pin is None:
+            output_pin = inst.cell.output_pins[0]
+        out_net = inst.net_of(output_pin)
         return (
             inst.cell.intrinsic_delay_ps
             + inst.cell.drive_resistance_kohm * self.load_cap_ff(out_net)
@@ -177,8 +190,9 @@ class TimingAnalyzer:
                     float("inf") if hold_mode else self.constraints.input_delay_ps
                 )
         for flop in self.module.sequential_instances:
-            q_net = flop.net_of("Q")
-            arrivals[q_net] = self.stage_delay_ps(flop)
+            for out_pin in flop.cell.output_pins:
+                q_net = flop.net_of(out_pin)
+                arrivals[q_net] = self.stage_delay_ps(flop, out_pin)
         return arrivals
 
     def compute_arrivals(
@@ -188,13 +202,16 @@ class TimingAnalyzer:
         pick = max if worst else min
         arrivals = self._launch_arrivals(hold_mode=hold_mode)
         for inst in self._order:
-            out_net = inst.net_of(inst.cell.output_pins[0])
             input_arrivals = [
                 arrivals.get(inst.net_of(pin), 0.0)
                 for pin in inst.cell.input_pins
             ]
             base = pick(input_arrivals) if input_arrivals else 0.0
-            arrivals[out_net] = base + self.stage_delay_ps(inst)
+            # Every output pin propagates -- a multi-output cell (e.g.
+            # a full adder) times each output against its own load.
+            for out_pin in inst.cell.output_pins:
+                out_net = inst.net_of(out_pin)
+                arrivals[out_net] = base + self.stage_delay_ps(inst, out_pin)
         return arrivals
 
     def _endpoints(self) -> list[tuple[str, str, str]]:
@@ -298,7 +315,7 @@ class TimingAnalyzer:
                     cell=inst.cell.name,
                     net=current,
                     arrival_ps=arrivals.get(current, 0.0),
-                    delay_ps=self.stage_delay_ps(inst),
+                    delay_ps=self.stage_delay_ps(inst, driver.pin),
                 )
             )
             if inst.cell.is_sequential:

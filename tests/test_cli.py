@@ -10,7 +10,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("flow", "camera", "ramp", "atpg", "mbist",
-                        "pins", "migrate", "regress", "cover", "lint"):
+                        "pins", "migrate", "regress", "sta", "cover",
+                        "lint"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -77,6 +78,28 @@ class TestCommands:
                      "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "consistent         : True" in out
+
+    def test_sta_clean_block(self, capsys):
+        assert main(["sta", "--stages", "2", "--width", "6",
+                     "--cloud-gates", "30", "--period", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "NLDM STA QoR" in out
+        assert "[ss]" in out and "[tt]" in out and "[ff]" in out
+
+    def test_sta_violating_block_exits_nonzero(self, capsys):
+        assert main(["sta", "--stages", "2", "--width", "6",
+                     "--cloud-gates", "30", "--period", "400"]) == 1
+        assert "WNS" in capsys.readouterr().out
+
+    def test_sta_json_identical_across_engines(self, capsys):
+        args = ["sta", "--stages", "2", "--width", "6",
+                "--cloud-gates", "30", "--json", "--corner", "ss,ff"]
+        main(args + ["--engine", "vectorized"])
+        vec = capsys.readouterr().out
+        main(args + ["--engine", "scalar", "--workers", "2"])
+        scalar = capsys.readouterr().out
+        assert vec == scalar
+        assert '"corners"' in vec
 
     def test_cover_reaches_default_targets(self, capsys):
         assert main(["cover", "--tests-per-round", "8",

@@ -15,6 +15,7 @@ import repro
 SUBPACKAGES = [
     "repro.netlist", "repro.sim", "repro.verification", "repro.formal",
     "repro.jpeg", "repro.mbist", "repro.dft", "repro.sta",
+    "repro.liberty",
     "repro.physical", "repro.package", "repro.eco", "repro.ip",
     "repro.manufacturing", "repro.reliability", "repro.fa",
     "repro.project", "repro.dsc", "repro.soc", "repro.si", "repro.dfm",
