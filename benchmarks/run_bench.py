@@ -353,6 +353,48 @@ def bench_fixpoint(quick: bool) -> dict:
     return out
 
 
+def bench_bmc(quick: bool) -> dict:
+    """Bounded model checking over the DSC block set.
+
+    Derives properties on every block under the gate cap and checks
+    them to a fixed depth with the CDCL engine, serial vs per-property
+    process fan-out, asserting the canonical report JSON is
+    byte-identical -- the determinism contract of the checker.
+    """
+    from repro.formal import check_properties, derive_properties
+    from repro.lint import dsc_lint_targets
+
+    scale = 0.002 if quick else 0.01
+    depth = 6 if quick else 10
+    max_gates = 150 if quick else 400
+    blocks = [
+        m for m in dsc_lint_targets(scale=scale, seed=0).modules
+        if len(m.instances) <= max_gates
+        and any(p.kind != "assume" for p in derive_properties(m))
+    ]
+    props = sum(len(derive_properties(m)) for m in blocks)
+    out = {"design": "dsc", "scale": scale, "depth": depth,
+           "blocks": len(blocks), "properties": props}
+    reports = {}
+    for label, workers in [("serial", 1), ("fanout", None)]:
+        start = time.perf_counter()
+        texts = []
+        for module in blocks:
+            report = check_properties(
+                module, derive_properties(module), depth=depth,
+                workers=workers, seed=0,
+            )
+            texts.append(report.to_json())
+        elapsed = time.perf_counter() - start
+        reports[label] = texts
+        out[label] = {"props_per_s": props / elapsed,
+                      "seconds": elapsed}
+    assert reports["serial"] == reports["fanout"]
+    out["speedup"] = (out["fanout"]["props_per_s"]
+                      / out["serial"]["props_per_s"])
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -375,6 +417,7 @@ def main(argv: list[str] | None = None) -> int:
         "compiled_sim": bench_compiled_sim(args.quick),
         "sta": bench_sta(args.quick),
         "fixpoint": bench_fixpoint(args.quick),
+        "bmc": bench_bmc(args.quick),
     }
     results["perf_registry"] = REGISTRY.as_dict()
 

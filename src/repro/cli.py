@@ -14,6 +14,7 @@ writing scripts:
     python -m repro sta           # multi-corner NLDM signoff STA
     python -m repro cover         # coverage-closure loop (DSC bench)
     python -m repro lint          # static design-rule analysis (DSC)
+    python -m repro bmc           # bounded model checking (DSC)
 
 The ``lint`` command runs the rule families of :mod:`repro.lint` over
 the generated DSC design database: structural netlist checks (STR-*),
@@ -206,6 +207,73 @@ def _cmd_cover(args: argparse.Namespace) -> int:
     return 0 if result.reached else 1
 
 
+def _cmd_bmc(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .formal import (
+        check_bus_exclusivity,
+        check_properties,
+        derive_properties,
+        replay_counterexample,
+    )
+    from .lint import dsc_lint_targets
+
+    targets = dsc_lint_targets(scale=args.scale, seed=args.seed)
+    modules = sorted(targets.modules, key=lambda m: m.name)
+    reports = []
+    falsified = 0
+    for module in modules:
+        if len(module.instances) > args.max_gates:
+            if not args.json:
+                print(f"{module.name}: skipped "
+                      f"({len(module.instances)} gates > "
+                      f"{args.max_gates})")
+            continue
+        props = derive_properties(module)
+        if not any(p.kind != "assume" for p in props):
+            continue
+        report = check_properties(
+            module, props, depth=args.depth, engine=args.engine,
+            workers=args.workers, seed=args.seed,
+        )
+        reports.append(report)
+        falsified += report.counts()["falsified"]
+        if args.json:
+            continue
+        print(report.format_report())
+        by_name = {p.name: p for p in props}
+        for check in report.checks:
+            if check.counterexample is None \
+                    or check.status != "falsified":
+                continue
+            replay = replay_counterexample(
+                module, by_name[check.name], check.counterexample
+            )
+            verdict = ("reproduced on every dialect"
+                       if replay.reproduced_everywhere
+                       else "NOT reproduced everywhere")
+            print(f"  replay {check.name}: {verdict}")
+        print()
+
+    bus = check_bus_exclusivity(targets.soc.bus)
+    if args.json:
+        payload = {
+            "bus": bus.to_dict(),
+            "depth": args.depth,
+            "engine": args.engine,
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json_mod.dumps(payload, sort_keys=True,
+                             separators=(",", ":")))
+    else:
+        verdict = "EXCLUSIVE" if bus.exclusive else "OVERLAP"
+        print(f"bus decode windows ({len(bus.windows)}): {verdict}")
+        if bus.overlapping is not None:
+            print(f"  witness address {bus.witness_address:#x} in "
+                  f"{bus.overlapping[0]} and {bus.overlapping[1]}")
+    return 1 if (falsified or not bus.exclusive) else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import WaiverSet, dsc_lint_targets, run_lint
 
@@ -353,6 +421,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "coverage DB; compiled packs a round's "
                             "tests into word-parallel lanes)")
     cover.set_defaults(func=_cmd_cover)
+
+    bmc = sub.add_parser(
+        "bmc", help="bounded model checking on the DSC database")
+    bmc.add_argument("--scale", type=float, default=0.005,
+                     help="fraction of each IP's catalogue gate budget")
+    bmc.add_argument("--seed", type=int, default=0)
+    bmc.add_argument("--depth", type=int, default=10,
+                     help="number of unrolled clock frames")
+    bmc.add_argument("--engine", choices=("cdcl", "lanes"),
+                     default="cdcl",
+                     help="checking engine: 'cdcl' proves/falsifies "
+                          "via SAT, 'lanes' drives word-parallel "
+                          "simulation lanes (refutation only unless "
+                          "the free-input space is exhaustible)")
+    bmc.add_argument("--workers", type=int, default=1,
+                     help="per-property fan-out processes (the report "
+                          "is byte-identical for any value)")
+    bmc.add_argument("--max-gates", type=int, default=4000,
+                     help="skip blocks above this gate count")
+    bmc.add_argument("--json", action="store_true",
+                     help="emit the canonical JSON report "
+                          "(byte-identical across --workers)")
+    bmc.set_defaults(func=_cmd_bmc)
 
     lint = sub.add_parser(
         "lint", help="static design-rule analysis on the DSC database")

@@ -29,6 +29,48 @@ from ..dft.faultsim import CombinationalView
 from ..sim import LogicSimulator, SimulatorConfig, diff_traces
 
 
+@dataclass(frozen=True)
+class Divergence:
+    """The first differing vector of a failed equivalence check.
+
+    ``inputs`` is the complete stimulus vector (net name to four-value
+    character) that separates the designs; ``outputs`` maps every
+    differing output to its ``(golden, revised)`` value pair.  For
+    sequential checks ``cycle`` locates the divergence in the
+    burn-in trace; combinational checks leave it ``None``.
+    """
+
+    inputs: dict[str, str]
+    outputs: dict[str, tuple[str, str]]
+    cycle: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical JSON-ready form."""
+        return {
+            "cycle": self.cycle,
+            "inputs": dict(sorted(self.inputs.items())),
+            "outputs": {
+                net: list(pair)
+                for net, pair in sorted(self.outputs.items())
+            },
+        }
+
+    def format_lines(self) -> list[str]:
+        """Human-readable description, inputs first."""
+        where = f" at cycle {self.cycle}" if self.cycle is not None \
+            else ""
+        lines = [f"  first differing vector{where}:"]
+        lines.append("    inputs:  " + " ".join(
+            f"{net}={value}"
+            for net, value in sorted(self.inputs.items())
+        ))
+        for net, (golden, revised) in sorted(self.outputs.items()):
+            lines.append(
+                f"    output {net}: golden={golden} revised={revised}"
+            )
+        return lines
+
+
 @dataclass
 class EquivalenceResult:
     """Outcome of one equivalence check."""
@@ -39,6 +81,7 @@ class EquivalenceResult:
     counterexample: dict[str, int] | None = None
     mismatched_outputs: list[str] = field(default_factory=list)
     notes: str = ""
+    divergence: Divergence | None = None
 
     def format_report(self) -> str:
         verdict = "EQUIVALENT" if self.equivalent else "NOT EQUIVALENT"
@@ -46,7 +89,9 @@ class EquivalenceResult:
             f"Equivalence check: {verdict} ({self.mode}, "
             f"{self.vectors_run} vectors)"
         ]
-        if self.counterexample is not None:
+        if self.divergence is not None:
+            lines.extend(self.divergence.format_lines())
+        elif self.counterexample is not None:
             lines.append(f"  counterexample: {self.counterexample}")
         if self.mismatched_outputs:
             lines.append(f"  mismatched outputs: {self.mismatched_outputs[:8]}")
@@ -89,18 +134,39 @@ def check_combinational_equivalence(
     view_r = CombinationalView(revised)
     inputs, outputs = _common_interface(view_g, view_r)
 
-    def compare(packed: dict[str, int], width: int):
+    def compare(
+        packed: dict[str, int], width: int
+    ) -> tuple[list[str], int | None, Divergence | None]:
         values_g = view_g.evaluate(packed, width)
         values_r = view_r.evaluate(packed, width)
         bad: list[str] = []
-        bad_bit = None
+        bad_bit: int | None = None
         for net in outputs:
             diff = values_g.get(net, 0) ^ values_r.get(net, 0)
             if diff:
                 bad.append(net)
                 if bad_bit is None:
                     bad_bit = (diff & -diff).bit_length() - 1
-        return bad, bad_bit
+        if bad_bit is None:
+            return bad, None, None
+        # Pin the divergence to the first differing lane: the full
+        # input vector plus every output where the designs disagree.
+        divergence = Divergence(
+            inputs={
+                net: str((packed[net] >> bad_bit) & 1)
+                for net in inputs
+            },
+            outputs={
+                net: (
+                    str((values_g.get(net, 0) >> bad_bit) & 1),
+                    str((values_r.get(net, 0) >> bad_bit) & 1),
+                )
+                for net in outputs
+                if ((values_g.get(net, 0) ^ values_r.get(net, 0))
+                    >> bad_bit) & 1
+            },
+        )
+        return bad, bad_bit, divergence
 
     n_inputs = len(inputs)
     if n_inputs <= exhaustive_limit:
@@ -114,9 +180,10 @@ def check_combinational_equivalence(
                 for k, net in enumerate(inputs):
                     if (row >> k) & 1:
                         packed[net] |= 1 << offset
-            bad, bad_bit = compare(packed, width)
+            bad, bad_bit, divergence = compare(packed, width)
             vectors_done += width
             if bad:
+                assert bad_bit is not None
                 row = base + bad_bit
                 cex = {net: (row >> k) & 1 for k, net in enumerate(inputs)}
                 return EquivalenceResult(
@@ -125,6 +192,7 @@ def check_combinational_equivalence(
                     vectors_run=vectors_done,
                     counterexample=cex,
                     mismatched_outputs=bad,
+                    divergence=divergence,
                 )
         return EquivalenceResult(
             equivalent=True,
@@ -146,9 +214,10 @@ def check_combinational_equivalence(
             )
             packed[net] = value
             stash[net] = bits[k]
-        bad, bad_bit = compare(packed, width)
+        bad, bad_bit, divergence = compare(packed, width)
         vectors_done += width
         if bad:
+            assert bad_bit is not None
             cex = {net: int(stash[net][bad_bit]) for net in inputs}
             return EquivalenceResult(
                 equivalent=False,
@@ -156,6 +225,7 @@ def check_combinational_equivalence(
                 vectors_run=vectors_done,
                 counterexample=cex,
                 mismatched_outputs=bad,
+                divergence=divergence,
             )
     return EquivalenceResult(
         equivalent=True,
@@ -211,7 +281,7 @@ def check_sequential_burn_in(
 
     def run(module: Module):
         sim = LogicSimulator(module, config)
-        ties = {clock_port: 0}
+        ties: dict[str, int] = {clock_port: 0}
         for name in extra_low_inputs:
             if name in module.ports and module.ports[name].direction == "input":
                 ties[name] = 0
@@ -233,6 +303,18 @@ def check_sequential_burn_in(
     mismatches = diff_traces(trace_g, trace_r)
     if mismatches:
         cycle, signal, va, vb = mismatches[0]
+        divergence = Divergence(
+            inputs={
+                net: str(value)
+                for net, value in sorted(stimulus[cycle].items())
+            },
+            outputs={
+                m_signal: (str(m_va), str(m_vb))
+                for m_cycle, m_signal, m_va, m_vb in mismatches
+                if m_cycle == cycle
+            },
+            cycle=cycle,
+        )
         return EquivalenceResult(
             equivalent=False,
             mode="sequential",
@@ -241,6 +323,7 @@ def check_sequential_burn_in(
             mismatched_outputs=sorted({m[1] for m in mismatches}),
             notes=f"first divergence at cycle {cycle} on {signal}: "
                   f"{va!s} vs {vb!s}",
+            divergence=divergence,
         )
     return EquivalenceResult(
         equivalent=True, mode="sequential", vectors_run=cycles,

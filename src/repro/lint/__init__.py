@@ -33,6 +33,11 @@ from .domains import (
     infer_reset_domains,
     trace_control_source,
 )
+from .properties import (
+    PROP_RULE_IDS,
+    findings_from_bmc,
+    findings_from_bus,
+)
 from .sarif import report_to_sarif, report_to_sarif_json
 from .scandrc import SCAN_RULE_IDS, check_scan_drc
 from .socmap import SocView, SocWindow, soc_view
@@ -61,6 +66,9 @@ __all__ = [
     "infer_clock_domains",
     "infer_reset_domains",
     "trace_control_source",
+    "PROP_RULE_IDS",
+    "findings_from_bmc",
+    "findings_from_bus",
     "report_to_sarif",
     "report_to_sarif_json",
     "SCAN_RULE_IDS",

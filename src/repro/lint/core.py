@@ -96,7 +96,7 @@ class Rule:
     severity: Severity
     category: str
     title: str
-    scope: str  # "module" | "soc"
+    scope: str  # "module" | "soc" | "property"
     check: Callable[..., Iterable[Finding]]
 
     def finding(self, module: str, subject: str, message: str,
@@ -127,9 +127,12 @@ def register(
 
     Module-scope checks receive ``(rule, module)``; SoC-scope checks
     receive ``(rule, view)`` where ``view`` is a
-    :class:`repro.lint.socmap.SocView`.
+    :class:`repro.lint.socmap.SocView`; property-scope checks receive
+    ``(rule, report)`` where ``report`` is a formal result (they are
+    registered for metadata/waiver/SARIF purposes but invoked through
+    :mod:`repro.lint.properties`, never by the structural engine).
     """
-    if scope not in ("module", "soc"):
+    if scope not in ("module", "soc", "property"):
         raise LintError(f"bad rule scope {scope!r}")
 
     def decorator(fn):
@@ -152,6 +155,7 @@ def load_builtin_rules() -> None:
     from . import (  # noqa: F401
         analysis,
         cdc,
+        properties,
         scandrc,
         socmap,
         structural,

@@ -21,6 +21,7 @@ from .netlist import Instance, Module, Net, NetlistError, PinRef, Port
 from .generators import (
     block_from_budget,
     counter,
+    one_hot_ring,
     pipeline_block,
     random_combinational_cloud,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "Port",
     "block_from_budget",
     "counter",
+    "one_hot_ring",
     "pipeline_block",
     "random_combinational_cloud",
     "NetlistStats",

@@ -197,6 +197,69 @@ def counter(
     return module
 
 
+def one_hot_ring(
+    name: str,
+    library: StdCellLibrary,
+    *,
+    width: int,
+    inject_bug: bool = False,
+) -> Module:
+    """A self-healing one-hot ring counter (one-hot FSM testcase).
+
+    ``width`` DFFR flops form a circular shift register.  Bit 0's data
+    input ORs the tail bit with an all-zero detector, so the ring
+    injects a single token after reset and rotates it forever: from
+    any reachable state *at most one* bit is hot -- the invariant the
+    one-hot property derivation targets.
+
+    ``inject_bug=True`` taps the injector one bit early (a classic
+    off-by-one): bit 0 re-arms from ``q[width-2]`` while the shift
+    chain still forwards that token to ``q[width-1]``, so the token
+    duplicates one lap after reset and the one-hot invariant fails at
+    frame ``width`` -- the seeded falsification testcase for bounded
+    model checking.
+    """
+    if width < 3:
+        raise ValueError("width must be >= 3")
+    module = Module(name, library)
+    module.add_port("clk", "input")
+    module.add_port("rst_n", "input")
+
+    # OR-reduce every state bit, then invert for the all-zero detector.
+    any_net = "q0"
+    for bit in range(1, width):
+        out = f"any{bit}"
+        module.add_instance(
+            f"orq{bit}", "OR2_X1", {"A": any_net, "B": f"q{bit}", "Y": out}
+        )
+        any_net = out
+    module.add_instance(
+        "zdet", "INV_X1", {"A": any_net, "Y": "all_zero"}
+    )
+    tail = f"q{width - 2}" if inject_bug else f"q{width - 1}"
+    module.add_instance(
+        "inj", "OR2_X1", {"A": tail, "B": "all_zero", "Y": "d0"}
+    )
+
+    for bit in range(width):
+        module.add_instance(
+            f"hot{bit}",
+            "DFFR",
+            {
+                "D": "d0" if bit == 0 else f"q{bit - 1}",
+                "CK": "clk",
+                "RN": "rst_n",
+                "Q": f"q{bit}",
+            },
+        )
+        port = f"hot{bit}"
+        module.add_port(port, "output")
+        module.add_instance(
+            f"obuf{bit}", "BUF_X1", {"A": f"q{bit}", "Y": port}
+        )
+    return module
+
+
 def pipeline_block(
     name: str,
     library: StdCellLibrary,

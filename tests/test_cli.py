@@ -11,7 +11,7 @@ class TestParser:
         text = parser.format_help()
         for command in ("flow", "camera", "ramp", "atpg", "mbist",
                         "pins", "migrate", "regress", "sta", "cover",
-                        "lint"):
+                        "lint", "bmc"):
             assert command in text
 
     def test_missing_command_errors(self):
@@ -128,6 +128,27 @@ class TestCommands:
         data = json.loads(capsys.readouterr().out)
         assert data["counts"]["error"] == 0
         assert data["design"] == "dsc"
+
+    def test_bmc_proves_small_blocks(self, capsys):
+        assert main(["bmc", "--scale", "0.002", "--depth", "6",
+                     "--max-gates", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "proven=" in out
+        assert "bus decode windows (8): EXCLUSIVE" in out
+
+    def test_bmc_json_identical_across_workers(self, capsys):
+        args = ["bmc", "--scale", "0.002", "--depth", "5",
+                "--max-gates", "120", "--json"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "3"]) == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+        import json
+
+        data = json.loads(serial)
+        assert data["bus"]["exclusive"] is True
+        assert data["reports"]
 
     def test_lint_rule_selection(self, capsys):
         assert main(["lint", "--scale", "0.005",

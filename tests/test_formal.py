@@ -148,3 +148,96 @@ class TestSequentialBurnIn:
         m = counter("cnt", lib, width=3)
         result = check_sequential_burn_in(m, m.copy("d"), cycles=8)
         assert "EQUIVALENT" in result.format_report()
+
+
+class TestDivergenceReporting:
+    """First-divergence reporting: net names plus values, both modes."""
+
+    def _broken_pair(self, lib, *, n_inputs, seed):
+        m = random_combinational_cloud(
+            "c", lib, n_inputs=n_inputs, n_outputs=3, n_gates=40,
+            seed=seed,
+        )
+        revised = m.copy("r")
+        victim = next(
+            i.name for i in revised.instances.values()
+            if i.cell.footprint == "NAND2"
+        )
+        conn = dict(revised.instances[victim].connections)
+        revised.remove_instance(victim)
+        revised.add_instance(victim, "NOR2_X1", conn)
+        return m, revised
+
+    def test_combinational_divergence_names_and_values(self, lib):
+        m, revised = self._broken_pair(lib, n_inputs=6, seed=3)
+        result = check_combinational_equivalence(m, revised)
+        assert not result.equivalent
+        div = result.divergence
+        assert div is not None
+        assert div.cycle is None
+        # The full separating input vector, named net by net.
+        assert set(div.inputs) == set(result.counterexample)
+        for net, value in div.inputs.items():
+            assert value == str(result.counterexample[net])
+        # Every reported output actually differs between the designs.
+        assert div.outputs
+        assert set(div.outputs) <= set(result.mismatched_outputs)
+        for net, (golden, rev) in div.outputs.items():
+            assert golden != rev
+            assert {golden, rev} <= {"0", "1"}
+
+    def test_combinational_divergence_replays(self, lib):
+        from repro.dft.faultsim import CombinationalView
+
+        m, revised = self._broken_pair(lib, n_inputs=6, seed=3)
+        result = check_combinational_equivalence(m, revised)
+        div = result.divergence
+        packed = {net: int(bit) for net, bit in div.inputs.items()}
+        vg = CombinationalView(m).evaluate(packed, 1)
+        vr = CombinationalView(revised).evaluate(packed, 1)
+        for net, (golden, rev) in div.outputs.items():
+            assert str(vg.get(net, 0) & 1) == golden
+            assert str(vr.get(net, 0) & 1) == rev
+
+    def test_random_mode_divergence(self, lib):
+        m, revised = self._broken_pair(lib, n_inputs=24, seed=7)
+        result = check_combinational_equivalence(
+            m, revised, max_random_vectors=2048
+        )
+        assert not result.equivalent
+        assert result.mode == "random"
+        div = result.divergence
+        assert div is not None
+        assert div.outputs
+        for net, value in div.inputs.items():
+            assert value == str(result.counterexample[net])
+
+    def test_sequential_divergence_locates_cycle(self, lib):
+        a = counter("cnt", lib, width=4)
+        b = counter("cnt", lib, width=4)
+        conn = dict(b.instances["sum2"].connections)
+        b.remove_instance("sum2")
+        b.add_instance("sum2", "XNOR2_X1", conn)
+        result = check_sequential_burn_in(a, b, cycles=16)
+        assert not result.equivalent
+        div = result.divergence
+        assert div is not None
+        assert div.cycle == result.counterexample["cycle"]
+        assert div.outputs
+        assert set(div.outputs) <= set(result.mismatched_outputs)
+        for net, (golden, rev) in div.outputs.items():
+            assert golden != rev
+            assert {golden, rev} <= set("01xz")
+
+    def test_divergence_in_report_and_json(self, lib):
+        m, revised = self._broken_pair(lib, n_inputs=6, seed=3)
+        result = check_combinational_equivalence(m, revised)
+        text = result.format_report()
+        assert "first differing vector" in text
+        some_output = next(iter(result.divergence.outputs))
+        assert some_output in text
+        payload = result.divergence.to_dict()
+        assert payload["cycle"] is None
+        assert payload["inputs"] == dict(sorted(
+            result.divergence.inputs.items()
+        ))

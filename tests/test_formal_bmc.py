@@ -1,0 +1,572 @@
+"""Tests for the formal stack: CDCL core, CNF unroller, BMC,
+semiformal loop and the PROP lint bridge.
+
+The contract under test (PR 8): the unroller encodes the *compiled
+simulation program*, so BMC semantics match both simulator dialects by
+construction -- every counterexample must replay bit-identically on
+the event simulator under ``VENDOR_A_SIM`` and ``VENDOR_B_SIM``, and
+the report JSON must be byte-identical for any worker count.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.formal import (
+    Counterexample,
+    NetIs,
+    Property,
+    Solver,
+    Unroller,
+    check_bus_exclusivity,
+    check_properties,
+    derive_properties,
+    replay_counterexample,
+    semiformal_verify,
+)
+from repro.formal.cnf import CnfBuilder
+from repro.lint import findings_from_bmc, findings_from_bus
+from repro.netlist import (
+    Logic,
+    Module,
+    make_default_library,
+    one_hot_ring,
+    pipeline_block,
+)
+from repro.sim import VENDOR_A_SIM, VENDOR_B_SIM, LogicSimulator
+
+CONFIGS = (VENDOR_A_SIM, VENDOR_B_SIM)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+# ---------------------------------------------------------------------------
+# CDCL core
+# ---------------------------------------------------------------------------
+
+
+def _pigeonhole(solver, pigeons, holes):
+    """p_{i,j} = pigeon i sits in hole j."""
+    var = {}
+    for i in range(pigeons):
+        for j in range(holes):
+            var[i, j] = solver.new_var()
+    for i in range(pigeons):
+        solver.add_clause([var[i, j] for j in range(holes)])
+    for j in range(holes):
+        for i1, i2 in itertools.combinations(range(pigeons), 2):
+            solver.add_clause([-var[i1, j], -var[i2, j]])
+    return var
+
+
+class TestCdclSolver:
+    def test_pigeonhole_unsat(self):
+        solver = Solver()
+        _pigeonhole(solver, pigeons=5, holes=4)
+        assert solver.solve() is False
+
+    def test_pigeonhole_tight_fit_sat(self):
+        solver = Solver()
+        var = _pigeonhole(solver, pigeons=4, holes=4)
+        assert solver.solve() is True
+        # The model must be a perfect matching.
+        for i in range(4):
+            assert sum(solver.value(var[i, j]) for j in range(4)) == 1
+        for j in range(4):
+            assert sum(solver.value(var[i, j]) for i in range(4)) <= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        n_vars, n_clauses = 9, 38
+        clauses = []
+        for _ in range(n_clauses):
+            picks = rng.sample(range(1, n_vars + 1), 3)
+            clauses.append(tuple(
+                v if rng.random() < 0.5 else -v for v in picks
+            ))
+
+        def satisfied(assignment):
+            return all(
+                any(
+                    assignment[abs(lit) - 1] == (lit > 0)
+                    for lit in clause
+                )
+                for clause in clauses
+            )
+
+        brute_sat = any(
+            satisfied([(m >> k) & 1 == 1 for k in range(n_vars)])
+            for m in range(1 << n_vars)
+        )
+        solver = Solver(seed=seed)
+        for _ in range(n_vars):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        verdict = solver.solve()
+        assert verdict == brute_sat
+        if verdict:
+            model = [solver.value(v) for v in range(1, n_vars + 1)]
+            assert satisfied(model)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            solver = Solver(seed=7)
+            _pigeonhole(solver, pigeons=4, holes=4)
+            assert solver.solve()
+            return (solver.model(), solver.stats.to_dict())
+
+        assert run() == run()
+
+    def test_failed_assumption_core(self):
+        solver = Solver()
+        x1, x2, x3 = (solver.new_var() for _ in range(3))
+        solver.add_clause([x1])
+        solver.add_clause([-x1, x2])
+        assert solver.solve() is True
+        # x2 is forced; assuming its negation must fail with the
+        # guilty assumption in the core.  x3 is innocent.
+        assert solver.solve([x3, -x2]) is False
+        assert -x2 in solver.core
+        assert x3 not in solver.core
+        assert set(solver.core) <= {x3, -x2}
+        # The solver is reusable after an assumption failure.
+        assert solver.solve([x3]) is True
+
+
+# ---------------------------------------------------------------------------
+# Unroller vs the event simulator (both dialects)
+# ---------------------------------------------------------------------------
+
+
+def _assert_unrolling_matches(module, config, depth, seed):
+    """Every net, every frame: CNF model == event-simulator value."""
+    solver = Solver()
+    builder = CnfBuilder(solver)
+    unroller = Unroller(module, config, builder)
+    unroller.extend(depth)
+    rng = random.Random(seed)
+    assumptions = []
+    for t in range(depth):
+        for port in unroller.plan.free_ports:
+            pair = unroller.pair_of(t, port)
+            assumptions.append(
+                pair[0] if rng.random() < 0.5 else pair[1]
+            )
+    assert solver.solve(assumptions) is True
+    frames = unroller.stimulus_from_model(solver)
+
+    sim = LogicSimulator(module, config)
+    clock = unroller.plan.clock_port
+    for t, frame in enumerate(frames):
+        vector = dict(frame)
+        if clock is not None:
+            vector[clock] = Logic.ZERO
+        sim.set_inputs(vector)
+        sim.evaluate()
+        for net in module.nets:
+            assert unroller.net_value_from_model(solver, t, net) \
+                is sim.read(net), (
+                    f"{module.name}/{config.name}: net {net} "
+                    f"diverges at frame {t}"
+                )
+        if t < len(frames) - 1 and clock is not None:
+            sim.clock_edge(clock)
+
+
+class TestUnrollerMatchesSimulator:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+    def test_one_hot_ring(self, lib, config):
+        module = one_hot_ring("ring", lib, width=5)
+        _assert_unrolling_matches(module, config, depth=6, seed=1)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+    def test_buggy_ring(self, lib, config):
+        module = one_hot_ring("ring", lib, width=4, inject_bug=True)
+        _assert_unrolling_matches(module, config, depth=7, seed=2)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+    def test_pipeline_block(self, lib, config):
+        module = pipeline_block(
+            "blk", lib, stages=2, width=4, cloud_gates=20, seed=3
+        )
+        _assert_unrolling_matches(module, config, depth=4, seed=3)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        stages=st.integers(1, 2),
+        width=st.integers(2, 4),
+        cloud_gates=st.integers(1, 16),
+        netlist_seed=st.integers(0, 50),
+        stim_seed=st.integers(0, 50),
+        dialect=st.sampled_from(CONFIGS),
+    )
+    def test_hypothesis_netlists(
+        self, stages, width, cloud_gates, netlist_seed, stim_seed,
+        dialect,
+    ):
+        lib = make_default_library(0.25)
+        module = pipeline_block(
+            "blk", lib, stages=stages, width=width,
+            cloud_gates=cloud_gates, seed=netlist_seed,
+        )
+        _assert_unrolling_matches(
+            module, dialect, depth=3, seed=stim_seed
+        )
+
+
+# ---------------------------------------------------------------------------
+# check_properties: proofs, falsifications, replay, determinism
+# ---------------------------------------------------------------------------
+
+
+def _toy_assume_module(lib):
+    """clk/rst_n/a -> one DFFR: tiny fixture for assume semantics."""
+    m = Module("toy", lib)
+    m.add_port("clk", "input")
+    m.add_port("rst_n", "input")
+    m.add_port("a", "input")
+    m.add_port("q", "output")
+    m.add_instance(
+        "f", "DFFR", {"D": "a", "CK": "clk", "RN": "rst_n", "Q": "q"}
+    )
+    return m
+
+
+class TestCheckProperties:
+    def test_good_ring_proven_and_covered(self, lib):
+        module = one_hot_ring("ring", lib, width=5)
+        props = derive_properties(module)
+        assert any(p.kind == "assert" for p in props)
+        report = check_properties(module, props, depth=12)
+        counts = report.counts()
+        assert counts["falsified"] == 0
+        assert counts["proven"] >= 1
+        for check in report.checks:
+            if check.kind == "cover":
+                assert check.status == "covered"
+
+    def test_buggy_ring_falsified_and_replays(self, lib):
+        module = one_hot_ring("ring", lib, width=4, inject_bug=True)
+        props = derive_properties(module)
+        report = check_properties(module, props, depth=8)
+        falsified = [
+            c for c in report.checks if c.status == "falsified"
+        ]
+        assert falsified, report.format_report()
+        by_name = {p.name: p for p in props}
+        for check in falsified:
+            cex = check.counterexample
+            assert cex is not None
+            assert all(
+                value in "01xz"
+                for frame in cex.to_dict()["frames"]
+                for value in frame.values()
+            )
+            replay = replay_counterexample(
+                module, by_name[check.name], cex
+            )
+            assert replay.reproduced_everywhere, replay.to_dict()
+            assert dict(replay.outcomes) == {
+                VENDOR_A_SIM.name: True, VENDOR_B_SIM.name: True,
+            }
+
+    def test_dsc_block_true_property_proven_deep(self, lib):
+        """Acceptance: a true property proven at depth >= 10 on a
+        block scaled from the DSC catalogue."""
+        from repro.lint import dsc_lint_targets
+
+        targets = dsc_lint_targets(scale=0.002, seed=0)
+        module = min(
+            (
+                m for m in targets.modules
+                if any(
+                    p.kind != "assume" for p in derive_properties(m)
+                )
+            ),
+            key=lambda m: len(m.instances),
+        )
+        report = check_properties(
+            module, derive_properties(module), depth=10
+        )
+        assert report.depth == 10
+        assert report.counts()["proven"] >= 1
+        assert report.counts()["falsified"] == 0
+
+    def test_json_byte_identical_across_workers(self, lib):
+        module = one_hot_ring("ring", lib, width=4, inject_bug=True)
+        props = derive_properties(module)
+        texts = {
+            check_properties(
+                module, props, depth=6, workers=workers, seed=3
+            ).to_json()
+            for workers in (1, 2, 4)
+        }
+        assert len(texts) == 1
+
+    def test_lanes_engine_agrees_with_cdcl(self, lib):
+        for inject_bug in (False, True):
+            module = one_hot_ring(
+                "ring", lib, width=4, inject_bug=inject_bug
+            )
+            props = derive_properties(module)
+            by_cdcl = check_properties(
+                module, props, depth=6, engine="cdcl"
+            )
+            by_lanes = check_properties(
+                module, props, depth=6, engine="lanes"
+            )
+            for a, b in zip(by_cdcl.checks, by_lanes.checks):
+                assert a.name == b.name
+                # The ring has no free inputs, so the lane sweep is
+                # exhaustive and must reach the same verdict.
+                assert a.status == b.status, (a, b)
+                if b.counterexample is not None:
+                    prop = next(
+                        p for p in props if p.name == b.name
+                    )
+                    assert replay_counterexample(
+                        module, prop, b.counterexample
+                    ).reproduced_everywhere
+
+    def test_assume_unsat_core_lite(self, lib):
+        module = _toy_assume_module(lib)
+        props = [
+            Property(
+                name="a_low", kind="assume",
+                expr=NetIs("a", Logic.ZERO),
+            ),
+            Property(
+                name="q_low", kind="assert",
+                expr=NetIs("q", Logic.ZERO),
+            ),
+        ]
+        report = check_properties(module, props, depth=5)
+        (check,) = [c for c in report.checks if c.name == "q_low"]
+        assert check.status == "proven"
+        assert not check.vacuous
+        # unsat-core-lite: the proof names the assumption it leaned on.
+        assert check.used_assumptions == ("a_low",)
+        # Without the assume the same assert is falsifiable.
+        free = check_properties(module, [props[1]], depth=5)
+        assert free.checks[0].status == "falsified"
+
+    def test_vacuous_pass_flagged(self, lib):
+        module = _toy_assume_module(lib)
+        props = [
+            # q resets to 0, so "q always 1" is an unsatisfiable
+            # environment: every pass under it is vacuous.
+            Property(
+                name="impossible", kind="assume",
+                expr=NetIs("q", Logic.ONE),
+            ),
+            Property(
+                name="anything", kind="assert",
+                expr=NetIs("q", Logic.ZERO),
+            ),
+        ]
+        report = check_properties(module, props, depth=4)
+        (check,) = [c for c in report.checks if c.name == "anything"]
+        assert check.status == "proven"
+        assert check.vacuous
+
+
+class TestBusExclusivity:
+    def test_dsc_decode_windows_disjoint(self):
+        from repro.soc import DscSoc
+
+        result = check_bus_exclusivity(DscSoc().bus)
+        assert result.exclusive
+        assert result.witness_address is None
+
+    def test_overlap_found_with_witness(self):
+        result = check_bus_exclusivity([
+            ("rom", 0x0000_0000, 0x1000),
+            ("ram", 0x0000_0800, 0x1000),
+            ("regs", 0x4000_0000, 0x100),
+        ])
+        assert not result.exclusive
+        assert set(result.overlapping) == {"ram", "rom"}
+        addr = result.witness_address
+        assert 0x800 <= addr < 0x1000  # inside both windows
+
+
+# ---------------------------------------------------------------------------
+# Semiformal: random drive + BMC neighborhoods
+# ---------------------------------------------------------------------------
+
+
+class TestSemiformal:
+    def test_deep_bug_beyond_bmc_depth(self, lib):
+        from repro.coverage import CoverageDatabase
+
+        module = one_hot_ring("ring", lib, width=6, inject_bug=True)
+        props = [
+            p for p in derive_properties(module)
+            if p.kind == "assert"
+        ]
+        # The injected bug needs 7 frames from reset: depth-4 BMC
+        # alone cannot see it ...
+        shallow = check_properties(module, props, depth=4)
+        assert shallow.counts()["falsified"] == 0
+        # ... but depth-4 neighborhoods of simulation-reached states
+        # do.
+        db = CoverageDatabase("ring")
+        result = semiformal_verify(
+            module, props, depth=4, lanes=8, drive_cycles=8,
+            max_states=4, seed=1, coverage_db=db,
+        )
+        assert result.frontier_states >= 1
+        names = [p.name for p in props]
+        assert any(
+            result.status_of(name) == "falsified" for name in names
+        )
+        assert result.traces
+        for trace in result.traces:
+            assert trace.replay.reproduced_everywhere
+        # Counterexamples are banked as directed coverage tests.
+        assert result.directed_tests
+        for test_name in result.directed_tests:
+            assert test_name.startswith("bmc_")
+            assert test_name in db.tests
+
+    def test_clean_design_bounded(self, lib):
+        module = one_hot_ring("ring", lib, width=4)
+        props = [
+            p for p in derive_properties(module)
+            if p.kind == "assert"
+        ]
+        result = semiformal_verify(
+            module, props, depth=3, lanes=4, drive_cycles=4,
+            max_states=2, seed=0,
+        )
+        for prop in props:
+            assert result.status_of(prop.name) == "bounded"
+
+    def test_deterministic_across_workers(self, lib):
+        module = one_hot_ring("ring", lib, width=6, inject_bug=True)
+        props = [
+            p for p in derive_properties(module)
+            if p.kind == "assert"
+        ]
+        payloads = {
+            str(semiformal_verify(
+                module, props, depth=4, lanes=8, drive_cycles=8,
+                max_states=3, seed=1, workers=workers,
+            ).to_dict())
+            for workers in (1, 3)
+        }
+        assert len(payloads) == 1
+
+
+# ---------------------------------------------------------------------------
+# PROP lint findings
+# ---------------------------------------------------------------------------
+
+
+class TestPropFindings:
+    def test_falsified_assert_is_prop_001(self, lib):
+        module = one_hot_ring("ring", lib, width=4, inject_bug=True)
+        report = check_properties(
+            module, derive_properties(module), depth=8
+        )
+        findings = findings_from_bmc(report)
+        errors = [f for f in findings if f.rule_id == "PROP-001"]
+        assert errors
+        assert all(f.module == "ring" for f in errors)
+        # Fingerprints are stable across identical runs.
+        again = findings_from_bmc(check_properties(
+            module, derive_properties(module), depth=8
+        ))
+        assert [f.fingerprint for f in findings] \
+            == [f.fingerprint for f in again]
+
+    def test_vacuous_pass_is_prop_002(self, lib):
+        module = _toy_assume_module(lib)
+        report = check_properties(module, [
+            Property(name="impossible", kind="assume",
+                     expr=NetIs("q", Logic.ONE)),
+            Property(name="anything", kind="assert",
+                     expr=NetIs("q", Logic.ZERO)),
+        ], depth=4)
+        findings = findings_from_bmc(report)
+        assert any(f.rule_id == "PROP-002" for f in findings)
+
+    def test_unreachable_cover_is_prop_003(self, lib):
+        module = _toy_assume_module(lib)
+        report = check_properties(module, [
+            Property(name="a_low", kind="assume",
+                     expr=NetIs("a", Logic.ZERO)),
+            Property(name="see_q", kind="cover",
+                     expr=NetIs("q", Logic.ONE)),
+        ], depth=4)
+        findings = findings_from_bmc(report)
+        assert any(f.rule_id == "PROP-003" for f in findings)
+
+    def test_bus_overlap_is_prop_004(self):
+        result = check_bus_exclusivity([
+            ("a", 0x0, 0x100),
+            ("b", 0x80, 0x100),
+        ])
+        findings = findings_from_bus(result)
+        assert [f.rule_id for f in findings] == ["PROP-004"]
+        assert findings[0].severity.name == "ERROR"
+        assert not findings_from_bus(
+            check_bus_exclusivity([
+                ("a", 0x0, 0x100), ("b", 0x100, 0x100),
+            ])
+        )
+
+    def test_prop_rules_reach_sarif(self, lib):
+        from repro.lint import LintReport, report_to_sarif_json
+
+        module = one_hot_ring("ring", lib, width=4, inject_bug=True)
+        findings = findings_from_bmc(check_properties(
+            module, derive_properties(module), depth=8
+        ))
+        report = LintReport(design="ring", findings=findings)
+        sarif = report_to_sarif_json(report)
+        assert "PROP-001" in sarif
+
+
+# ---------------------------------------------------------------------------
+# Counterexample surface
+# ---------------------------------------------------------------------------
+
+
+class TestCounterexampleSurface:
+    def test_counterexample_round_trip(self, lib):
+        module = one_hot_ring("ring", lib, width=4, inject_bug=True)
+        props = derive_properties(module)
+        report = check_properties(module, props, depth=8)
+        check = next(
+            c for c in report.checks if c.status == "falsified"
+        )
+        payload = check.counterexample.to_dict()
+        rebuilt = Counterexample(
+            kind=payload["kind"],
+            frame=payload["frame"],
+            frames=tuple(
+                {
+                    net: Logic("01xz".index(char))
+                    for net, char in frame.items()
+                }
+                for frame in payload["frames"]
+            ),
+            nets=tuple(payload["nets"]),
+            clock_port=payload["clock_port"],
+        )
+        prop = next(p for p in props if p.name == check.name)
+        assert replay_counterexample(
+            module, prop, rebuilt
+        ).reproduced_everywhere
