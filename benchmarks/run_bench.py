@@ -320,8 +320,9 @@ def bench_fixpoint(quick: bool) -> dict:
     serial vs process fan-out, and asserts the canonical reports are
     byte-identical -- the determinism contract of the engine.
     """
-    from repro.analysis import analyze_modules
+    from repro.analysis import analyze_modules, clear_analysis_memo
     from repro.lint import dsc_lint_targets
+    from repro.store import ArtifactStore, using_store
 
     scale = 0.05 if quick else 1.0
     probe = dsc_lint_targets(scale=scale, seed=0).modules
@@ -331,11 +332,16 @@ def bench_fixpoint(quick: bool) -> dict:
            "modules": len(probe), "gates": gates}
     reports = {}
     for label, workers in [("serial", 1), ("fanout", None)]:
-        # Fresh module objects per run: the per-module analysis cache
-        # is keyed on identity, so reuse would bias the second timing.
+        # Fresh module objects, memo and artifact store per run: the
+        # summary cache is content-addressed, so a shared store would
+        # turn the second run into a pure cache splice and this bench
+        # must time the engine (bench_incremental times the cache).
         modules = dsc_lint_targets(scale=scale, seed=0).modules
+        clear_analysis_memo()
         start = time.perf_counter()
-        report = analyze_modules(modules, design="dsc", workers=workers)
+        with using_store(ArtifactStore()):
+            report = analyze_modules(modules, design="dsc",
+                                     workers=workers)
         elapsed = time.perf_counter() - start
         reports[label] = report
         out[label] = {"gates_per_s": gates / elapsed,
@@ -350,6 +356,94 @@ def bench_fixpoint(quick: bool) -> dict:
     # Quick mode's sub-second runs carry ~15% timer noise, so the bar
     # only tightens to 0.95 on the full workload.
     assert out["speedup"] >= (0.75 if quick else 0.95), out
+    return out
+
+
+def bench_incremental(quick: bool) -> dict:
+    """Incremental static analysis through the artifact store.
+
+    One shared :class:`repro.store.ArtifactStore` carries per-cone
+    fixpoint results, whole-module summaries and per-module lint
+    findings across three runs over the DSC block set: a cold run, a
+    warm rerun (pure cache splice), and a post-ECO rerun after a
+    drive-strength swap.  Warm and post-ECO outputs are asserted
+    byte-identical to a cold run from an empty store -- incremental
+    never changes the answer, only when it is computed.
+    """
+    from repro.analysis import clear_analysis_memo, summarize_module
+    from repro.lint import dsc_lint_targets, run_lint
+    from repro.store import ArtifactStore, using_store
+
+    scale = 0.02 if quick else 0.2
+    modules = list(dsc_lint_targets(scale=scale, seed=0).modules)
+    gates = sum(m.gate_count for m in modules)
+
+    def cone_counts(store: ArtifactStore) -> tuple[int, int]:
+        counters = store.counters().get("analysis.cone")
+        return (counters.hits, counters.misses) if counters else (0, 0)
+
+    def run() -> tuple[list[str], str]:
+        summaries = [
+            json.dumps(summarize_module(m).to_dict(), sort_keys=True)
+            for m in modules
+        ]
+        return summaries, run_lint(modules, workers=1).to_json()
+
+    store = ArtifactStore()
+    out = {"design": "dsc", "scale": scale,
+           "modules": len(modules), "gates": gates}
+    results = {}
+    for label in ("cold", "warm"):
+        clear_analysis_memo()
+        hits0, misses0 = cone_counts(store)
+        start = time.perf_counter()
+        with using_store(store):
+            results[label] = run()
+        elapsed = time.perf_counter() - start
+        hits1, misses1 = cone_counts(store)
+        out[label] = {"seconds": elapsed,
+                      "cone_hits": hits1 - hits0,
+                      "cone_misses": misses1 - misses0}
+    # Byte-identical warm rerun: the determinism contract of the cache.
+    assert results["cold"] == results["warm"]
+    out["speedup_warm"] = (out["cold"]["seconds"]
+                           / out["warm"]["seconds"])
+    assert out["speedup_warm"] >= 5.0, out
+
+    # Post-ECO: swap one inverter's drive strength, rerun against the
+    # same store -- only cones reaching the swap may recompute.
+    target_module = next(
+        m for m in modules
+        if any(i.cell.name == "INV_X1" for i in m.instances.values())
+    )
+    target = next(
+        name for name in sorted(target_module.instances)
+        if target_module.instances[name].cell.name == "INV_X1"
+    )
+    target_module.swap_cell(target, "INV_X2")
+    clear_analysis_memo()
+    hits0, misses0 = cone_counts(store)
+    start = time.perf_counter()
+    with using_store(store):
+        eco = run()
+    elapsed = time.perf_counter() - start
+    hits1, misses1 = cone_counts(store)
+    total_cones = out["cold"]["cone_misses"]
+    out["post_eco"] = {
+        "seconds": elapsed,
+        "cone_hits": hits1 - hits0,
+        "cone_misses": misses1 - misses0,
+        "cone_rerun_fraction": (misses1 - misses0) / total_cones,
+    }
+    assert 0 < misses1 - misses0 < total_cones * 0.25, out
+
+    # The incremental post-ECO answer must match a cold run from an
+    # empty store, byte for byte.
+    clear_analysis_memo()
+    with using_store(ArtifactStore()):
+        fresh = run()
+    assert eco == fresh
+    out["store"] = store.stats()
     return out
 
 
@@ -417,6 +511,7 @@ def main(argv: list[str] | None = None) -> int:
         "compiled_sim": bench_compiled_sim(args.quick),
         "sta": bench_sta(args.quick),
         "fixpoint": bench_fixpoint(args.quick),
+        "incremental": bench_incremental(args.quick),
         "bmc": bench_bmc(args.quick),
     }
     results["perf_registry"] = REGISTRY.as_dict()
@@ -468,6 +563,13 @@ def main(argv: list[str] | None = None) -> int:
           f" -> {fix_section['fanout']['gates_per_s']:>12,.0f} "
           f"{'gates/s':10s} ({fix_section['speedup']:.1f}x, "
           f"{fix_section['gates']} gates, byte-identical)")
+    inc_section = results["incremental"]
+    print(f"{'incremental':18s} {inc_section['cold']['seconds']:>11,.2f}s"
+          f" -> {inc_section['warm']['seconds']:>11,.3f}s "
+          f"{'warm rerun':10s} ({inc_section['speedup_warm']:,.0f}x, "
+          f"post-ECO re-ran "
+          f"{inc_section['post_eco']['cone_rerun_fraction']:.2%} of "
+          f"cones, byte-identical)")
     print(f"wrote {out_path}")
     return 0
 

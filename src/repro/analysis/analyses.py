@@ -25,13 +25,21 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from ..netlist import Module
 from ..netlist.netlist import Instance, Net
 from ..perf import fanout, resolve_workers
 from ..sim import SimulatorConfig, VENDOR_A_SIM, VENDOR_B_SIM
+from ..store import ArtifactStore, get_default_store
+from .cones import (
+    ANALYSIS_VERSION,
+    Cone,
+    ConeRunStats,
+    partition_cones,
+    run_fixpoint_cones,
+)
 from .domains import (
     BINARY,
     ConstantDomain,
@@ -45,7 +53,7 @@ from .domains import (
     format_mask,
     format_pair_mask,
 )
-from .engine import FixpointResult, run_fixpoint
+from .engine import FixpointResult
 
 
 def observable_nets(module: Module) -> FrozenSet[str]:
@@ -118,33 +126,76 @@ _CACHE: "WeakKeyDictionary[Module, Dict[tuple, ModuleAnalysis]]" = (
 )
 
 
+def clear_analysis_memo() -> None:
+    """Drop the in-process ModuleAnalysis memo (tests, benchmarks)."""
+    _CACHE.clear()
+
+
+def _cone_flops(module: Module, cone: Cone) -> List[str]:
+    """Sequential instances owned by one cone, sorted."""
+    return [
+        name for name in cone.instances
+        if module.instances[name].cell.is_sequential
+    ]
+
+
 def analyze_module(
     module: Module,
     config_a: SimulatorConfig = VENDOR_A_SIM,
     config_b: SimulatorConfig = VENDOR_B_SIM,
+    *,
+    cone_stats: ConeRunStats | None = None,
 ) -> ModuleAnalysis:
     """Run (or fetch cached) fixpoints for one module.
 
-    The cache is keyed on module identity plus the dialect pair, so
-    the four rule families triggered by one lint pass share a single
-    engine run per domain.
+    The in-process memo is keyed on module *content* (its fingerprint)
+    plus the dialect pair, so one lint pass shares a single engine run
+    per domain across the four rule families -- and an in-place ECO
+    edit invalidates the memo instead of serving stale fixpoints.
+
+    Each domain is solved cone by cone through the ambient
+    :class:`repro.store.ArtifactStore` (see
+    :mod:`repro.analysis.cones`): after an ECO only the cones whose
+    content or boundary values changed re-run the fixpoint, and the
+    assembled result is byte-identical to a cold run.  Pass
+    ``cone_stats`` to observe the per-cone hit/miss behaviour; doing
+    so bypasses the memo (the store is still consulted).
     """
     per_module = _CACHE.setdefault(module, {})
-    key = (config_a.name, config_b.name)
+    key = (module.fingerprint(), config_a.name, config_b.name)
     cached = per_module.get(key)
-    if cached is not None:
+    if cached is not None and cone_stats is None:
         return cached
 
-    const = run_fixpoint(
+    store = get_default_store()
+    partition = partition_cones(module)
+    stats = cone_stats
+
+    uninit = _uninit_mask(config_a, config_b)
+    const = run_fixpoint_cones(
         module,
-        ConstantDomain(
-            config_a, uninit_mask=_uninit_mask(config_a, config_b)
-        ),
+        ConstantDomain(config_a, uninit_mask=uninit),
+        partition,
+        domain_token=lambda cone: ["const", config_a.name, uninit],
+        store=store,
+        stats=stats,
     )
     reset_assured = _flop_reset_assured(module, const)
-    dual = run_fixpoint(
+
+    def _assured_in(cone: Cone) -> List[str]:
+        return sorted(
+            name for name in cone.instances if name in reset_assured
+        )
+
+    dual = run_fixpoint_cones(
         module,
         DualConstantDomain(config_a, config_b, reset_assured=reset_assured),
+        partition,
+        domain_token=lambda cone: [
+            "dual", config_a.name, config_b.name, _assured_in(cone)
+        ],
+        store=store,
+        stats=stats,
     )
 
     def x_flop_seed(inst: Instance) -> FrozenSet[str]:
@@ -155,33 +206,63 @@ def analyze_module(
     def x_undriven_seed(net: Net) -> FrozenSet[str]:
         return frozenset({_x_source_label("undriven", net.name)})
 
-    xtaint = run_fixpoint(
+    xtaint = run_fixpoint_cones(
         module,
         TaintDomain(
             flop_seed=x_flop_seed,
             undriven_seed=x_undriven_seed,
             through_flops=True,
         ),
+        partition,
+        domain_token=lambda cone: ["xtaint", _assured_in(cone)],
+        store=store,
+        stats=stats,
     )
-    launch = run_fixpoint(
+    launch = run_fixpoint_cones(
         module,
         TaintDomain(
             flop_seed=lambda inst: frozenset({inst.name}),
             through_flops=False,
         ),
+        partition,
+        domain_token=lambda cone: ["launch"],
+        store=store,
+        stats=stats,
     )
 
     from ..lint.domains import trace_control_source
 
-    def domain_seed(inst: Instance) -> FrozenSet[str]:
-        clock_pin = inst.cell.clock_pin
-        if clock_pin is None:
-            return frozenset({"unclocked"})
-        trace = trace_control_source(module, inst.net_of(clock_pin))
-        return frozenset({trace.domain})
+    trace_memo: Dict[str, str] = {}
 
-    domains = run_fixpoint(
-        module, TaintDomain(flop_seed=domain_seed, through_flops=True)
+    def _trace_domain(inst: Instance) -> str:
+        cached_domain = trace_memo.get(inst.name)
+        if cached_domain is None:
+            clock_pin = inst.cell.clock_pin
+            if clock_pin is None:
+                cached_domain = "unclocked"
+            else:
+                cached_domain = trace_control_source(
+                    module, inst.net_of(clock_pin)
+                ).domain
+            trace_memo[inst.name] = cached_domain
+        return cached_domain
+
+    def domain_seed(inst: Instance) -> FrozenSet[str]:
+        return frozenset({_trace_domain(inst)})
+
+    domains = run_fixpoint_cones(
+        module,
+        TaintDomain(flop_seed=domain_seed, through_flops=True),
+        partition,
+        domain_token=lambda cone: [
+            "domains",
+            [
+                [name, _trace_domain(module.instances[name])]
+                for name in _cone_flops(module, cone)
+            ],
+        ],
+        store=store,
+        stats=stats,
     )
 
     analysis = ModuleAnalysis(
@@ -482,9 +563,76 @@ class ModuleSummary:
             "clock_races": [list(item) for item in self.clock_races],
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModuleSummary":
+        """Exact inverse of :meth:`to_dict` (tuple-for-tuple)."""
+        return cls(
+            module=data["module"],
+            gates=data["gates"],
+            nets=data["nets"],
+            visits=data["visits"],
+            stuck_nets=tuple(
+                (net, why) for net, why in data["stuck_nets"]
+            ),
+            never_toggling=tuple(
+                (inst, why) for inst, why in data["never_toggling"]
+            ),
+            unobservable=tuple(data["unobservable"]),
+            constant_cones=tuple(
+                (inst, net, why) for inst, net, why in data["constant_cones"]
+            ),
+            divergent_nets=tuple(data["divergent_nets"]),
+            divergent_outputs=tuple(
+                (port, why) for port, why in data["divergent_outputs"]
+            ),
+            mux_select_x=tuple(
+                (inst, net) for inst, net in data["mux_select_x"]
+            ),
+            reconvergent_x=tuple(
+                (inst, net, tuple(sources))
+                for inst, net, sources in data["reconvergent_x"]
+            ),
+            multi_driver_races=tuple(
+                (net, why) for net, why in data["multi_driver_races"]
+            ),
+            clock_races=tuple(
+                (src, dst, why) for src, dst, why in data["clock_races"]
+            ),
+        )
 
-def summarize_module(module: Module) -> ModuleSummary:
-    """All analyses over one module as a canonical summary."""
+
+#: Store domain for whole-module analysis summaries (default configs).
+SUMMARY_STORE_DOMAIN = "analysis.summary"
+_SUMMARY_CONFIG = [VENDOR_A_SIM.name, VENDOR_B_SIM.name]
+
+
+def summarize_module(
+    module: Module, *, store: ArtifactStore | None = None
+) -> ModuleSummary:
+    """All analyses over one module as a canonical summary.
+
+    Cached whole in the artifact store under the module fingerprint:
+    a warm rerun over an untouched module never reruns a fixpoint or a
+    query, it decodes the stored summary (byte-identical ``to_dict``).
+    """
+    if store is None:
+        store = get_default_store()
+    fingerprints = (module.fingerprint(),)
+    payload = store.get(
+        SUMMARY_STORE_DOMAIN, ANALYSIS_VERSION, fingerprints,
+        _SUMMARY_CONFIG,
+    )
+    if payload is not None:
+        return ModuleSummary.from_dict(payload)
+    summary = _summarize_module_uncached(module)
+    store.put(
+        SUMMARY_STORE_DOMAIN, ANALYSIS_VERSION, fingerprints,
+        summary.to_dict(), _SUMMARY_CONFIG,
+    )
+    return summary
+
+
+def _summarize_module_uncached(module: Module) -> ModuleSummary:
     analysis = analyze_module(module)
     total_visits = (
         analysis.const.visits + analysis.dual.visits
@@ -591,18 +739,37 @@ def analyze_modules(
     module_list = list(modules)
     if not module_list:
         return AnalysisReport(design=design, summaries=[])
-    n_bins = min(resolve_workers(workers), len(module_list))
-    chunks = _balanced_chunks(module_list, n_bins)
-    chunk_results = fanout(
-        _summaries_task,
-        [[module_list[i] for i in chunk] for chunk in chunks],
-        workers=n_bins,
-        stage="analysis.modules",
-    )
+    store = get_default_store()
     by_index: Dict[int, ModuleSummary] = {}
-    for chunk, results in zip(chunks, chunk_results):
-        for index, summary in zip(chunk, results):
-            by_index[index] = summary
+    missing: List[int] = []
+    for index, module in enumerate(module_list):
+        payload = store.get(
+            SUMMARY_STORE_DOMAIN, ANALYSIS_VERSION,
+            (module.fingerprint(),), _SUMMARY_CONFIG,
+        )
+        if payload is not None:
+            by_index[index] = ModuleSummary.from_dict(payload)
+        else:
+            missing.append(index)
+    if missing:
+        missing_modules = [module_list[i] for i in missing]
+        n_bins = min(resolve_workers(workers), len(missing_modules))
+        chunks = _balanced_chunks(missing_modules, n_bins)
+        chunk_results = fanout(
+            _summaries_task,
+            [[missing_modules[i] for i in chunk] for chunk in chunks],
+            workers=n_bins,
+            stage="analysis.modules",
+        )
+        for chunk, results in zip(chunks, chunk_results):
+            for local_index, summary in zip(chunk, results):
+                index = missing[local_index]
+                by_index[index] = summary
+                store.put(
+                    SUMMARY_STORE_DOMAIN, ANALYSIS_VERSION,
+                    (module_list[index].fingerprint(),),
+                    summary.to_dict(), _SUMMARY_CONFIG,
+                )
     return AnalysisReport(
         design=design,
         summaries=[by_index[i] for i in range(len(module_list))],

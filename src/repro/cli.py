@@ -26,7 +26,13 @@ propagation (CONST-*), dead logic (DEAD-*), dialect divergence
 JSON waiver file; ``--fail-on`` sets the exit-status threshold;
 ``--json`` emits the canonical report (byte-identical for any
 ``--workers`` value); ``--sarif FILE`` additionally writes SARIF 2.1.0
-for GitHub code scanning.
+for GitHub code scanning.  Incremental reruns: ``--store FILE``
+persists the content-addressed artifact store across runs (only
+changed modules re-lint), ``--baseline FILE`` diffs against a prior
+JSON report by finding fingerprint (``--changed-only`` gates only on
+new findings), ``--sarif-baseline FILE`` stamps SARIF results with
+``baselineState``, and ``--fail-on-unused-waivers`` turns stale
+waivers into a failure.
 """
 
 from __future__ import annotations
@@ -275,10 +281,16 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import WaiverSet, dsc_lint_targets, run_lint
+    import json as json_mod
+    import os
+
+    from .lint import LintReport, WaiverSet, dsc_lint_targets, run_lint
+    from .store import ArtifactStore, set_default_store
 
     waivers = WaiverSet.load(args.waivers) if args.waivers else None
     rules = args.rules.split(",") if args.rules else None
+    if args.store and os.path.exists(args.store):
+        set_default_store(ArtifactStore.load(args.store))
     targets = dsc_lint_targets(scale=args.scale, seed=args.seed)
     report = run_lint(
         targets.modules,
@@ -290,12 +302,43 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         workers=args.workers,
         waivers=waivers,
     )
+    if args.store:
+        from .store import get_default_store
+
+        get_default_store().save(args.store)
     if args.sarif:
+        sarif_baseline = None
+        if args.sarif_baseline:
+            with open(args.sarif_baseline, "r", encoding="utf-8") as handle:
+                sarif_baseline = json_mod.load(handle)
         with open(args.sarif, "w", encoding="utf-8") as handle:
-            handle.write(report.to_sarif_json())
+            handle.write(report.to_sarif_json(baseline=sarif_baseline))
             handle.write("\n")
-    print(report.to_json() if args.json else report.format_report())
-    return 1 if report.failed(args.fail_on) else 0
+
+    delta = None
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            delta = report.delta(LintReport.from_json(handle.read()))
+    if args.changed_only:
+        if delta is None:
+            print("lint: --changed-only requires --baseline",
+                  file=sys.stderr)
+            return 2
+        print(delta.to_json() if args.json else delta.format_report())
+    else:
+        print(report.to_json() if args.json else report.format_report())
+        if delta is not None:
+            print(delta.to_json() if args.json else delta.format_report())
+
+    failed = report.failed(args.fail_on)
+    if delta is not None and args.changed_only:
+        threshold = args.fail_on
+        failed = LintReport(
+            design=report.design, findings=delta.new
+        ).failed(threshold)
+    if args.fail_on_unused_waivers and report.unused_waivers:
+        failed = True
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -466,6 +509,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--sarif", default="", metavar="FILE",
                       help="also write the report as SARIF 2.1.0 "
                            "(for GitHub code scanning)")
+    lint.add_argument("--sarif-baseline", default="", metavar="FILE",
+                      help="prior SARIF log; stamps each result's "
+                           "baselineState (new vs unchanged)")
+    lint.add_argument("--baseline", default="", metavar="FILE",
+                      help="prior canonical-JSON lint report to diff "
+                           "against (fingerprint delta)")
+    lint.add_argument("--changed-only", action="store_true",
+                      help="with --baseline: report and gate only on "
+                           "findings new since the baseline")
+    lint.add_argument("--fail-on-unused-waivers", action="store_true",
+                      help="exit nonzero when any waiver matched "
+                           "nothing (stale sign-off)")
+    lint.add_argument("--store", default="", metavar="FILE",
+                      help="persisted artifact store: load before the "
+                           "run (if present) and save after, so "
+                           "reruns only re-lint changed modules")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

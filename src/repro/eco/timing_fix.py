@@ -33,7 +33,14 @@ from ..sta import NldmTimingAnalyzer, TimingConstraints
 
 @dataclass
 class TimingFixReport:
-    """Outcome of a timing-closure ECO campaign."""
+    """Outcome of a timing-closure ECO campaign.
+
+    ``touched_instances`` is the sorted set of instances the campaign
+    actually modified (resized/swapped cells, rewired flops, inserted
+    buffers) -- exactly the seed set an incremental re-analysis
+    through :mod:`repro.store` needs, since only cones reaching a
+    touched instance can change.
+    """
 
     setup_passes: int = 0
     hold_passes: int = 0
@@ -45,6 +52,7 @@ class TimingFixReport:
     hold_wns_before_ps: float = 0.0
     hold_wns_after_ps: float = 0.0
     closed: bool = False
+    touched_instances: tuple[str, ...] = ()
 
     def format_report(self) -> str:
         return "\n".join(
@@ -59,7 +67,8 @@ class TimingFixReport:
                 f" {self.wns_after_ps:.1f} ps",
                 f"  hold WNS     : {self.hold_wns_before_ps:.1f} ->"
                 f" {self.hold_wns_after_ps:.1f} ps",
-                f"  closed       : {self.closed}",
+                f"  closed       : {self.closed}"
+                f" ({len(self.touched_instances)} instances touched)",
             ]
         )
 
@@ -122,7 +131,7 @@ def _upsize_critical_path(
     *,
     corners: Sequence[str] | None,
     engine: str,
-) -> tuple[int, int]:
+) -> tuple[int, int, set[str]]:
     """Resize / Vt-swap cells on the current worst-corner critical path.
 
     Candidate moves are priced from the library tables first (delay
@@ -131,13 +140,15 @@ def _upsize_critical_path(
     reverted if the WNS did not improve -- cheap pricing, honest
     acceptance.
 
-    Returns ``(cells_resized, vt_swaps)``; (0, 0) = nothing left.
+    Returns ``(cells_resized, vt_swaps, touched)``;
+    (0, 0, ...) = nothing left.
     """
+    touched: set[str] = set()
     analyzer = NldmTimingAnalyzer(module, constraints, library=library)
     report = analyzer.analyze(corners=corners, engine=engine)
     worst = report.worst_corner
     if worst.wns_ps >= 0 or not worst.critical_path:
-        return 0, 0
+        return 0, 0, touched
     delay_derate = library.corner(worst.corner).delay_derate
     wire_derate = library.corner(worst.corner).wire_derate
 
@@ -176,13 +187,14 @@ def _upsize_critical_path(
         ).wns_ps
         if new_wns > best_wns:
             best_wns = new_wns
+            touched.add(inst.name)
             if library.cell(move).vt_class != library.cell(original).vt_class:
                 swapped += 1
             else:
                 resized += 1
         else:
             module.swap_cell(inst.name, original)
-    return resized, swapped
+    return resized, swapped, touched
 
 
 def fix_setup(
@@ -210,19 +222,21 @@ def fix_setup(
     report.wns_before_ps = baseline.wns_ps
     report.hold_wns_before_ps = baseline.hold_wns_ps
 
+    touched: set[str] = set()
     for _ in range(max_passes):
         sta = NldmTimingAnalyzer(
             revised, constraints, library=lib).analyze(
             corners=corners, engine=engine, with_critical_path=False)
         if sta.setup_clean:
             break
-        resized, swapped = _upsize_critical_path(
+        resized, swapped, pass_touched = _upsize_critical_path(
             revised, constraints, lib, corners=corners, engine=engine)
         if resized + swapped == 0:
             break  # out of sizing headroom
         report.setup_passes += 1
         report.cells_resized += resized
         report.vt_swaps += swapped
+        touched |= pass_touched
 
     final = NldmTimingAnalyzer(
         revised, constraints, library=lib).analyze(
@@ -230,6 +244,7 @@ def fix_setup(
     report.wns_after_ps = final.wns_ps
     report.hold_wns_after_ps = final.hold_wns_ps
     report.closed = final.setup_clean
+    report.touched_instances = tuple(sorted(touched))
     return revised, report
 
 
@@ -254,6 +269,7 @@ def fix_hold(
     report.wns_before_ps = baseline.wns_ps
     report.hold_wns_before_ps = baseline.hold_wns_ps
 
+    touched: set[str] = set()
     buffer_id = 0
     for _ in range(max_passes):
         analyzer = NldmTimingAnalyzer(revised, constraints, library=lib)
@@ -279,6 +295,8 @@ def fix_hold(
                 {"A": d_net, "Y": new_net},
             )
             revised.rewire_pin(flop.name, flop.cell.data_pin, new_net)
+            touched.add(flop.name)
+            touched.add(f"__holdbuf{buffer_id}")
             report.buffers_inserted += 1
             buffer_id += 1
 
@@ -288,6 +306,7 @@ def fix_hold(
     report.wns_after_ps = final.wns_ps
     report.hold_wns_after_ps = final.hold_wns_ps
     report.closed = final.hold_clean
+    report.touched_instances = tuple(sorted(touched))
     return revised, report
 
 
@@ -321,5 +340,9 @@ def close_timing(
         hold_wns_after_ps=hold_report.hold_wns_after_ps,
         closed=hold_report.wns_after_ps >= 0
         and hold_report.hold_wns_after_ps >= 0,
+        touched_instances=tuple(sorted(
+            set(setup_report.touched_instances)
+            | set(hold_report.touched_instances)
+        )),
     )
     return revised, combined

@@ -12,6 +12,9 @@ and the engine fans out across modules deterministically via
 
 from .core import (
     Finding,
+    LINT_STORE_DOMAIN,
+    LINT_VERSION,
+    LintDelta,
     LintError,
     LintReport,
     Rule,
@@ -38,7 +41,11 @@ from .properties import (
     findings_from_bmc,
     findings_from_bus,
 )
-from .sarif import report_to_sarif, report_to_sarif_json
+from .sarif import (
+    report_to_sarif,
+    report_to_sarif_json,
+    sarif_fingerprints,
+)
 from .scandrc import SCAN_RULE_IDS, check_scan_drc
 from .socmap import SocView, SocWindow, soc_view
 from .structural import structural_problems
@@ -48,6 +55,9 @@ load_builtin_rules()
 
 __all__ = [
     "Finding",
+    "LINT_STORE_DOMAIN",
+    "LINT_VERSION",
+    "LintDelta",
     "LintError",
     "LintReport",
     "Rule",
@@ -71,6 +81,7 @@ __all__ = [
     "findings_from_bus",
     "report_to_sarif",
     "report_to_sarif_json",
+    "sarif_fingerprints",
     "SCAN_RULE_IDS",
     "check_scan_drc",
     "SocView",

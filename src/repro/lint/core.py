@@ -24,9 +24,17 @@ import fnmatch
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..perf import fanout
+from ..store import get_default_store
+
+#: Result-schema/algorithm version of cached per-module lint results.
+#: Bump whenever any module-scope rule changes behaviour.
+LINT_VERSION = "1"
+
+#: Store domain for per-module finding lists.
+LINT_STORE_DOMAIN = "lint.module"
 
 
 class LintError(Exception):
@@ -84,6 +92,18 @@ class Finding:
             "fingerprint": self.fingerprint,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Finding":
+        """Inverse of :meth:`to_dict` (the fingerprint is re-derived)."""
+        return cls(
+            rule_id=str(data["rule"]),
+            severity=Severity.parse(str(data["severity"])),
+            category=str(data["category"]),
+            module=str(data["module"]),
+            subject=str(data["subject"]),
+            message=str(data["message"]),
+        )
+
     def sort_key(self) -> tuple:
         return (self.module, self.rule_id, self.subject, self.message)
 
@@ -122,7 +142,9 @@ def register(
     title: str,
     *,
     scope: str = "module",
-):
+) -> Callable[
+    [Callable[..., Iterable[Finding]]], Callable[..., Iterable[Finding]]
+]:
     """Decorator registering a check function as a :class:`Rule`.
 
     Module-scope checks receive ``(rule, module)``; SoC-scope checks
@@ -135,7 +157,9 @@ def register(
     if scope not in ("module", "soc", "property"):
         raise LintError(f"bad rule scope {scope!r}")
 
-    def decorator(fn):
+    def decorator(
+        fn: Callable[..., Iterable[Finding]]
+    ) -> Callable[..., Iterable[Finding]]:
         if rule_id in _REGISTRY:
             raise LintError(f"duplicate rule id {rule_id!r}")
         _REGISTRY[rule_id] = Rule(rule_id, severity, category, title,
@@ -267,7 +291,7 @@ class WaiverSet:
     def __len__(self) -> int:
         return len(self.waivers)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Waiver]:
         return iter(self.waivers)
 
     def match(self, finding: Finding) -> Waiver | None:
@@ -310,11 +334,17 @@ class WaiverSet:
 
 @dataclass
 class LintReport:
-    """The outcome of one lint run: active findings + waived findings."""
+    """The outcome of one lint run: active findings + waived findings.
+
+    ``unused_waivers`` lists waiver entries that matched nothing this
+    run -- stale sign-offs that should be pruned (or that silently
+    stopped covering what they were written for).
+    """
 
     design: str
     findings: list[Finding] = field(default_factory=list)
     waived: list[tuple[Finding, Waiver]] = field(default_factory=list)
+    unused_waivers: list[Waiver] = field(default_factory=list)
     modules_checked: int = 0
     rules_run: int = 0
 
@@ -357,23 +387,81 @@ class LintReport:
                 {**f.to_dict(), "waived_by": w.reason}
                 for f, w in sorted(self.waived, key=lambda p: p[0].sort_key())
             ],
+            "unused_waivers": [
+                w.to_dict() for w in self.unused_waivers
+            ],
         }
 
     def to_json(self) -> str:
         """Canonical JSON: byte-identical across worker counts."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=1)
 
-    def to_sarif(self) -> dict:
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LintReport":
+        """Rebuild a report from its canonical dict (baseline loading).
+
+        Waived entries come back paired with a wildcard waiver carrying
+        the recorded reason; ``counts`` is re-derived from the
+        findings.
+        """
+        report = cls(
+            design=str(data.get("design", "design")),
+            modules_checked=int(data.get("modules_checked", 0)),
+            rules_run=int(data.get("rules_run", 0)),
+        )
+        for entry in data.get("findings", []):
+            report.findings.append(Finding.from_dict(entry))
+        for entry in data.get("waived", []):
+            report.waived.append((
+                Finding.from_dict(entry),
+                Waiver(reason=str(entry.get("waived_by", "unknown"))),
+            ))
+        for entry in data.get("unused_waivers", []):
+            report.unused_waivers.append(Waiver.from_dict(entry))
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LintError(f"bad lint baseline: {exc}") from None
+        if not isinstance(data, Mapping):
+            raise LintError("lint baseline must be a JSON object")
+        return cls.from_dict(data)
+
+    def delta(self, baseline: "LintReport | Mapping") -> "LintDelta":
+        """Diff this run against a prior one by finding fingerprint.
+
+        Waived findings on either side are excluded: waiving is a
+        sign-off decision, not a design change, so a newly-waived
+        finding reports as *fixed* and an un-waived one as *new*.
+        """
+        if not isinstance(baseline, LintReport):
+            baseline = LintReport.from_dict(baseline)
+        base_by_fp = {f.fingerprint: f for f in baseline.findings}
+        current_fps = {f.fingerprint for f in self.findings}
+        new = [f for f in sorted(self.findings, key=Finding.sort_key)
+               if f.fingerprint not in base_by_fp]
+        carried = [f for f in sorted(self.findings, key=Finding.sort_key)
+                   if f.fingerprint in base_by_fp]
+        fixed = [f for f in sorted(baseline.findings, key=Finding.sort_key)
+                 if f.fingerprint not in current_fps]
+        return LintDelta(
+            design=self.design, new=new, carried=carried, fixed=fixed
+        )
+
+    def to_sarif(self, *, baseline: dict | None = None) -> dict:
         """SARIF 2.1.0 log object (see :mod:`repro.lint.sarif`)."""
         from .sarif import report_to_sarif
 
-        return report_to_sarif(self)
+        return report_to_sarif(self, baseline=baseline)
 
-    def to_sarif_json(self) -> str:
+    def to_sarif_json(self, *, baseline: dict | None = None) -> str:
         """Canonical SARIF 2.1.0 JSON for code-scanning upload."""
         from .sarif import report_to_sarif_json
 
-        return report_to_sarif_json(self)
+        return report_to_sarif_json(self, baseline=baseline)
 
     def format_report(self) -> str:
         lines = [
@@ -401,8 +489,62 @@ class LintReport:
                 f"  waived {f.rule_id} [{f.fingerprint}] {f.module}:"
                 f" {f.message} ({waiver.reason})"
             )
+        if self.unused_waivers:
+            lines.append(
+                f"  -- UNUSED WAIVERS ({len(self.unused_waivers)}) --"
+            )
+            for waiver in self.unused_waivers:
+                matchers = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(waiver.to_dict().items())
+                    if key != "reason"
+                ) or "match-all"
+                lines.append(
+                    f"  unused waiver [{matchers}] ({waiver.reason})"
+                )
         if not self.findings and not self.waived:
             lines.append("  clean: no findings")
+        return "\n".join(lines)
+
+
+@dataclass
+class LintDelta:
+    """Fingerprint diff of one lint run against a baseline run."""
+
+    design: str
+    new: list[Finding] = field(default_factory=list)
+    carried: list[Finding] = field(default_factory=list)
+    fixed: list[Finding] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "counts": {
+                "new": len(self.new),
+                "carried": len(self.carried),
+                "fixed": len(self.fixed),
+            },
+            "new": [f.to_dict() for f in self.new],
+            "carried": [f.to_dict() for f in self.carried],
+            "fixed": [f.to_dict() for f in self.fixed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def format_report(self) -> str:
+        lines = [
+            f"Lint delta for {self.design}",
+            f"  new     : {len(self.new)}",
+            f"  carried : {len(self.carried)}",
+            f"  fixed   : {len(self.fixed)}",
+        ]
+        for label, group in (("new", self.new), ("fixed", self.fixed)):
+            for f in group:
+                lines.append(
+                    f"  {label} {f.rule_id} [{f.fingerprint}]"
+                    f" {f.module}: {f.message}"
+                )
         return "\n".join(lines)
 
 
@@ -410,7 +552,7 @@ class LintReport:
 # Engine
 # ---------------------------------------------------------------------------
 
-def _lint_module_task(task) -> list[Finding]:
+def _lint_module_task(task: tuple) -> list[Finding]:
     """Worker: run the named module-scope rules over one module.
 
     Module-level and self-contained so it pickles into worker
@@ -436,13 +578,44 @@ def lint_modules(
     Work is partitioned per module before execution and merged in task
     order, so the finding list is a pure function of the inputs
     regardless of ``workers``.
+
+    Per-module results are cached in the ambient
+    :class:`repro.store.ArtifactStore` under the module fingerprint and
+    the selected rule-id list: a warm rerun (or a post-ECO rerun over
+    untouched modules) decodes cached findings and only fans out the
+    modules whose content changed.
     """
     chosen = select_rules(rules, scope="module")
     rule_ids = tuple(r.id for r in chosen)
-    tasks = [(module, rule_ids) for module in modules]
-    results = fanout(_lint_module_task, tasks, workers=workers,
-                     stage="lint.modules")
-    return [finding for sub in results for finding in sub]
+    store = get_default_store()
+    config = ["rules", list(rule_ids)]
+    per_module: dict[int, list[Finding]] = {}
+    missing: list[int] = []
+    for index, module in enumerate(modules):
+        payload = store.get(
+            LINT_STORE_DOMAIN, LINT_VERSION,
+            (module.fingerprint(),), config,
+        )
+        if payload is not None:
+            per_module[index] = [Finding.from_dict(e) for e in payload]
+        else:
+            missing.append(index)
+    if missing:
+        tasks = [(modules[index], rule_ids) for index in missing]
+        results = fanout(_lint_module_task, tasks, workers=workers,
+                         stage="lint.modules")
+        for index, found in zip(missing, results):
+            per_module[index] = found
+            store.put(
+                LINT_STORE_DOMAIN, LINT_VERSION,
+                (modules[index].fingerprint(),),
+                [f.to_dict() for f in found], config,
+            )
+    return [
+        finding
+        for index in range(len(modules))
+        for finding in per_module[index]
+    ]
 
 
 def run_lint(
@@ -480,10 +653,16 @@ def run_lint(
         + (len(soc_rules) if soc is not None else 0),
     )
     findings.sort(key=Finding.sort_key)
+    used_waivers: set[int] = set()
     for finding in findings:
         waiver = waivers.match(finding) if waivers is not None else None
         if waiver is None:
             report.findings.append(finding)
         else:
+            used_waivers.add(id(waiver))
             report.waived.append((finding, waiver))
+    if waivers is not None:
+        report.unused_waivers = [
+            w for w in waivers if id(w) not in used_waivers
+        ]
     return report

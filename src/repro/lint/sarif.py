@@ -15,7 +15,11 @@ Mapping decisions:
   source files, so no ``physicalLocation`` is emitted;
 * waived findings are included with a ``suppression`` of kind
   ``external`` carrying the waiver reason, matching how code scanning
-  displays dismissed alerts.
+  displays dismissed alerts;
+* with a baseline SARIF log (``lint --sarif out --sarif-baseline
+  prior``), every result carries a ``baselineState``: ``unchanged``
+  when its partial fingerprint appears in the baseline, ``new``
+  otherwise -- so CI annotates only regressions.
 
 The output is canonical (sorted keys, stable ordering): byte-identical
 for the same report no matter how the lint engine was parallelised.
@@ -40,14 +44,35 @@ SARIF_SCHEMA = (
     "Schemata/sarif-schema-2.1.0.json"
 )
 
+#: The partialFingerprints key carrying the stable lint fingerprint.
+FINGERPRINT_KEY = "reproLintFingerprint/v1"
 
-def _result(finding: Finding, waiver: Waiver | None = None) -> dict:
-    result = {
+
+def sarif_fingerprints(log: dict) -> frozenset[str]:
+    """Every lint fingerprint recorded in a SARIF log's results."""
+    out = set()
+    for run in log.get("runs", []):
+        for result in run.get("results", []):
+            fingerprint = result.get("partialFingerprints", {}).get(
+                FINGERPRINT_KEY
+            )
+            if fingerprint:
+                out.add(fingerprint)
+    return frozenset(out)
+
+
+def _result(
+    finding: Finding,
+    waiver: Waiver | None = None,
+    *,
+    known: frozenset[str] | None = None,
+) -> dict:
+    result: dict = {
         "ruleId": finding.rule_id,
         "level": _LEVELS[finding.severity],
         "message": {"text": finding.message},
         "partialFingerprints": {
-            "reproLintFingerprint/v1": finding.fingerprint,
+            FINGERPRINT_KEY: finding.fingerprint,
         },
         "locations": [
             {
@@ -66,6 +91,10 @@ def _result(finding: Finding, waiver: Waiver | None = None) -> dict:
             "module": finding.module,
         },
     }
+    if known is not None:
+        result["baselineState"] = (
+            "unchanged" if finding.fingerprint in known else "new"
+        )
     if waiver is not None:
         result["suppressions"] = [
             {"kind": "external", "justification": waiver.reason}
@@ -73,11 +102,21 @@ def _result(finding: Finding, waiver: Waiver | None = None) -> dict:
     return result
 
 
-def report_to_sarif(report: LintReport) -> dict:
-    """The full SARIF 2.1.0 log object for one lint report."""
-    entries = [(f, None) for f in report.findings]
+def report_to_sarif(
+    report: LintReport, *, baseline: dict | None = None
+) -> dict:
+    """The full SARIF 2.1.0 log object for one lint report.
+
+    ``baseline`` is a previously-emitted SARIF log (parsed): when
+    given, each result is stamped ``baselineState: unchanged`` if its
+    fingerprint already appeared there, ``new`` otherwise.
+    """
+    entries: list[tuple[Finding, Waiver | None]] = [
+        (f, None) for f in report.findings
+    ]
     entries += [(f, w) for f, w in report.waived]
     entries.sort(key=lambda pair: pair[0].sort_key())
+    known = sarif_fingerprints(baseline) if baseline is not None else None
 
     rule_ids = sorted({f.rule_id for f, _ in entries})
     descriptors = []
@@ -105,12 +144,19 @@ def report_to_sarif(report: LintReport) -> dict:
                     }
                 },
                 "automationDetails": {"id": f"repro-lint/{report.design}"},
-                "results": [_result(f, w) for f, w in entries],
+                "results": [
+                    _result(f, w, known=known) for f, w in entries
+                ],
             }
         ],
     }
 
 
-def report_to_sarif_json(report: LintReport) -> str:
+def report_to_sarif_json(
+    report: LintReport, *, baseline: dict | None = None
+) -> str:
     """Canonical SARIF JSON (sorted keys, stable result order)."""
-    return json.dumps(report_to_sarif(report), sort_keys=True, indent=1)
+    return json.dumps(
+        report_to_sarif(report, baseline=baseline),
+        sort_keys=True, indent=1,
+    )

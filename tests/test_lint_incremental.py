@@ -1,0 +1,230 @@
+"""Incremental lint: result caching, baselines, waiver staleness.
+
+Covers the incremental-rerun surface added on top of the rule engine:
+per-module finding caches in the artifact store, fingerprint deltas
+against a baseline report (``lint --baseline --changed-only``), SARIF
+``baselineState`` stamping, unused-waiver reporting, and the CLI flags
+wiring it all together.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintReport,
+    Severity,
+    Waiver,
+    WaiverSet,
+    run_lint,
+    sarif_fingerprints,
+)
+from repro.netlist import make_default_library
+from repro.store import ArtifactStore, using_store
+from tests.test_analysis import build_stuck, build_uninit_flop
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library(0.25)
+
+
+class TestFindingRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        finding = Finding("X-001", Severity.WARNING, "xprop",
+                          "m", "net:q", "q can be X")
+        clone = Finding.from_dict(finding.to_dict())
+        assert clone == finding
+        assert clone.fingerprint == finding.fingerprint
+
+
+class TestLintModuleCache:
+    def test_warm_rerun_hits_and_matches(self, lib):
+        module = build_uninit_flop(lib)
+        store = ArtifactStore()
+        with using_store(store):
+            cold = run_lint([module], workers=1)
+            warm = run_lint([module], workers=1)
+        assert cold.to_json() == warm.to_json()
+        counters = store.counters()["lint.module"]
+        assert counters.hits == 1
+        assert counters.misses == 1
+
+    def test_edit_invalidates_only_changed_module(self, lib):
+        stuck = build_stuck(lib)
+        uninit = build_uninit_flop(lib)
+        store = ArtifactStore()
+        with using_store(store):
+            run_lint([stuck, uninit], workers=1)
+            stuck.swap_cell("g1", "BUF_X2")
+            rerun = run_lint([stuck, uninit], workers=1)
+        counters = store.counters()["lint.module"]
+        # second run: uninit hits, edited stuck misses and re-lints
+        assert counters.hits == 1
+        assert counters.misses == 3
+        with using_store(ArtifactStore()):
+            cold = run_lint([stuck, uninit], workers=1)
+        assert rerun.to_json() == cold.to_json()
+
+    def test_rule_selection_is_part_of_the_key(self, lib):
+        module = build_uninit_flop(lib)
+        store = ArtifactStore()
+        with using_store(store):
+            full = run_lint([module], workers=1)
+            xonly = run_lint([module], rules=["xprop"], workers=1)
+        assert store.counters()["lint.module"].hits == 0
+        assert len(xonly.findings) <= len(full.findings)
+
+
+class TestDelta:
+    def _report(self, *findings):
+        report = LintReport(design="d")
+        report.findings.extend(findings)
+        return report
+
+    def _finding(self, subject, rule="X-001"):
+        return Finding(rule, Severity.WARNING, "xprop", "m",
+                       subject, f"{subject} message")
+
+    def test_new_carried_fixed(self):
+        a, b, c = (self._finding(s) for s in ("na", "nb", "nc"))
+        baseline = self._report(a, b)
+        current = self._report(b, c)
+        delta = current.delta(baseline)
+        assert [f.subject for f in delta.new] == ["nc"]
+        assert [f.subject for f in delta.carried] == ["nb"]
+        assert [f.subject for f in delta.fixed] == ["na"]
+        assert delta.to_dict()["counts"] == \
+            {"new": 1, "carried": 1, "fixed": 1}
+        assert "new X-001" in delta.format_report()
+
+    def test_delta_against_serialized_baseline(self):
+        a, b = self._finding("na"), self._finding("nb")
+        baseline = self._report(a)
+        current = self._report(a, b)
+        parsed = json.loads(baseline.to_json())
+        delta = current.delta(parsed)
+        assert [f.subject for f in delta.new] == ["nb"]
+        assert [f.subject for f in delta.fixed] == []
+
+    def test_report_json_round_trip(self, lib):
+        with using_store(ArtifactStore()):
+            report = run_lint([build_uninit_flop(lib)], workers=1)
+        clone = LintReport.from_json(report.to_json())
+        assert clone.to_json() == report.to_json()
+
+    def test_message_reword_is_not_new(self):
+        before = self._finding("na")
+        after = Finding(before.rule_id, before.severity, before.category,
+                        before.module, before.subject, "reworded")
+        delta = self._report(after).delta(self._report(before))
+        assert delta.new == [] and delta.fixed == []
+        assert [f.subject for f in delta.carried] == ["na"]
+
+
+class TestUnusedWaivers:
+    def test_unused_waiver_reported(self, lib):
+        module = build_uninit_flop(lib)
+        waivers = WaiverSet([
+            Waiver(reason="stale", module="no_such_module"),
+            Waiver(reason="covers x", rule="X-*"),
+        ])
+        with using_store(ArtifactStore()):
+            report = run_lint([module], workers=1, waivers=waivers)
+        assert [w.reason for w in report.unused_waivers] == ["stale"]
+        assert report.to_dict()["unused_waivers"] == \
+            [{"reason": "stale", "module": "no_such_module"}]
+        assert "UNUSED WAIVERS" in report.format_report()
+
+    def test_all_waivers_used(self, lib):
+        module = build_uninit_flop(lib)
+        waivers = WaiverSet([Waiver(reason="covers all")])
+        with using_store(ArtifactStore()):
+            report = run_lint([module], workers=1, waivers=waivers)
+        assert report.unused_waivers == []
+        assert "UNUSED WAIVERS" not in report.format_report()
+
+
+class TestSarifBaseline:
+    def test_baseline_state_stamping(self, lib):
+        module = build_uninit_flop(lib)
+        with using_store(ArtifactStore()):
+            report = run_lint([module], workers=1)
+        assert report.findings
+        prior = report.to_sarif()
+        fingerprints = sarif_fingerprints(prior)
+        assert fingerprints == {f.fingerprint for f in report.findings}
+
+        # same report against its own SARIF: everything unchanged
+        log = report.to_sarif(baseline=prior)
+        states = [r["baselineState"] for r in log["runs"][0]["results"]]
+        assert states and set(states) == {"unchanged"}
+
+        # against an empty baseline: everything new
+        empty = LintReport(design="d").to_sarif()
+        log = report.to_sarif(baseline=empty)
+        states = [r["baselineState"] for r in log["runs"][0]["results"]]
+        assert set(states) == {"new"}
+
+    def test_no_baseline_no_state(self, lib):
+        module = build_uninit_flop(lib)
+        with using_store(ArtifactStore()):
+            report = run_lint([module], workers=1)
+        log = report.to_sarif()
+        assert all(
+            "baselineState" not in r for r in log["runs"][0]["results"]
+        )
+
+
+class TestCli:
+    def _lint(self, *argv):
+        from repro.cli import main
+
+        return main(["lint", "--scale", "0.002", "--seed", "0",
+                     "--fail-on", "none", *argv])
+
+    def test_store_persists_and_warm_run_matches(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store.json")
+        assert self._lint("--json", "--store", store_path) == 0
+        cold = capsys.readouterr().out
+        assert self._lint("--json", "--store", store_path) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        loaded = ArtifactStore.load(store_path)
+        assert len(loaded) > 0
+
+    def test_baseline_changed_only(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert self._lint("--json") == 0
+        baseline.write_text(capsys.readouterr().out)
+        assert self._lint("--json", "--baseline", str(baseline),
+                          "--changed-only") == 0
+        delta = json.loads(capsys.readouterr().out)
+        assert delta["counts"]["new"] == 0
+        assert delta["counts"]["fixed"] == 0
+
+    def test_changed_only_requires_baseline(self, capsys):
+        assert self._lint("--changed-only") == 2
+
+    def test_fail_on_unused_waivers(self, tmp_path, capsys):
+        waiver_file = tmp_path / "waivers.json"
+        WaiverSet([
+            Waiver(reason="stale", module="no_such_module"),
+        ]).save(str(waiver_file))
+        assert self._lint("--waivers", str(waiver_file)) == 0
+        assert self._lint("--waivers", str(waiver_file),
+                          "--fail-on-unused-waivers") == 1
+        out = capsys.readouterr().out
+        assert "UNUSED WAIVERS" in out
+
+    def test_sarif_baseline_flag(self, tmp_path, capsys):
+        prior = tmp_path / "prior.sarif"
+        out = tmp_path / "out.sarif"
+        assert self._lint("--sarif", str(prior)) == 0
+        capsys.readouterr()
+        assert self._lint("--sarif", str(out),
+                          "--sarif-baseline", str(prior)) == 0
+        log = json.loads(out.read_text())
+        for result in log["runs"][0]["results"]:
+            assert result["baselineState"] == "unchanged"
