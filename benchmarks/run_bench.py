@@ -489,6 +489,23 @@ def bench_bmc(quick: bool) -> dict:
     return out
 
 
+def bench_service_flows(quick: bool) -> dict:
+    """Multi-tenant flow service; naive serial vs sharded vs warm.
+
+    Delegates to :func:`benchmarks.bench_service.bench_service` (also
+    runnable standalone), which asserts byte-identical per-request
+    reports across all three paths and the dedup-driven flows/s bars.
+    """
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from bench_service import bench_service
+    finally:
+        sys.path.pop(0)
+    return bench_service(quick)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -513,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         "fixpoint": bench_fixpoint(args.quick),
         "incremental": bench_incremental(args.quick),
         "bmc": bench_bmc(args.quick),
+        "service": bench_service_flows(args.quick),
     }
     results["perf_registry"] = REGISTRY.as_dict()
 
@@ -570,6 +588,14 @@ def main(argv: list[str] | None = None) -> int:
           f"post-ECO re-ran "
           f"{inc_section['post_eco']['cone_rerun_fraction']:.2%} of "
           f"cones, byte-identical)")
+    svc_section = results["service"]
+    print(f"{'service':18s} "
+          f"{svc_section['serial']['flows_per_s']:>12,.2f} -> "
+          f"{svc_section['sharded']['flows_per_s']:>12,.2f} "
+          f"{'flows/s':10s} ({svc_section['speedup_sharded']:.1f}x "
+          f"sharded, dedup "
+          f"{svc_section['sharded']['dedup_rate']:.0%}, warm "
+          f"{svc_section['speedup_warm']:.0f}x, byte-identical)")
     print(f"wrote {out_path}")
     return 0
 

@@ -341,6 +341,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import os
+
+    from .service import DesignService, synthetic_tenant_mix
+    from .store import ArtifactStore
+
+    stages = tuple(args.stages.split(",")) if args.stages else None
+    mix = synthetic_tenant_mix(
+        tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        scale=args.scale,
+        seed=args.seed,
+        stages=stages,
+        bmc_depth=args.depth,
+        dft_patterns=args.patterns,
+    )
+    # A dedicated store: it receives exactly the service.* unit
+    # payloads, so its canonical dump is comparable across worker
+    # counts (the ambient store picks up inline lint/analysis entries
+    # that legitimately differ between inline and pool execution).
+    if args.store and os.path.exists(args.store):
+        store = ArtifactStore.load(args.store)
+    else:
+        store = ArtifactStore()
+    def print_event(event: dict) -> None:
+        print(json_mod.dumps(event, sort_keys=True,
+                             separators=(",", ":")),
+              file=sys.stderr)
+
+    on_event = print_event if args.events else None
+    service = DesignService(workers=args.workers,
+                            queue_depth=args.queue_depth,
+                            store=store, on_event=on_event)
+    try:
+        reports = service.run(mix)
+    finally:
+        service.close()
+    if args.store:
+        store.save(args.store, canonical=True)
+    reports = sorted(reports, key=lambda r: r.request_id)
+    if args.json:
+        print(json_mod.dumps([report.to_dict() for report in reports],
+                             sort_keys=True, separators=(",", ":")))
+    else:
+        for report in reports:
+            print(report.format_report())
+        stats = service.stats
+        print(f"{stats.requests:.0f} requests, "
+              f"{stats.units_total:.0f} units requested, "
+              f"{stats.units_executed:.0f} executed "
+              f"({stats.units_coalesced:.0f} coalesced, "
+              f"{stats.units_store_hits:.0f} store hits, "
+              f"dedup {stats.dedup_rate * 100:.1f}%)")
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -526,6 +583,43 @@ def build_parser() -> argparse.ArgumentParser:
                            "run (if present) and save after, so "
                            "reruns only re-lint changed modules")
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant flow service over a synthetic DSC mix")
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=3,
+                       help="requests per tenant")
+    serve.add_argument("--scale", type=float, default=0.005,
+                       help="fraction of each IP's catalogue gate "
+                            "budget")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pool workers for stage units (reports "
+                            "are byte-identical for any value)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="max units in flight (default 2x workers)")
+    serve.add_argument("--depth", type=int, default=3,
+                       help="BMC depth for verify_props units")
+    serve.add_argument("--patterns", type=int, default=256,
+                       help="fault-sim pattern budget for dft units")
+    serve.add_argument("--stages", default="",
+                       help="comma-separated stage subset for every "
+                            "request (default: the mix's stage menus)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the canonical per-request report "
+                            "array, sorted by request id "
+                            "(byte-identical across --workers, "
+                            "submission order and --queue-depth)")
+    serve.add_argument("--store", default="", metavar="FILE",
+                       help="persisted artifact store: load before "
+                            "the run (if present) and save a "
+                            "canonical dump after, so warm reruns "
+                            "splice every unit from the store")
+    serve.add_argument("--events", action="store_true",
+                       help="stream progress events as JSON lines on "
+                            "stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

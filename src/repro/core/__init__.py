@@ -1,5 +1,19 @@
 """The end-to-end SOC design-service flow."""
 
-from .flow import DesignServiceFlow, FlowReport
+from .flow import (
+    FLOW_STAGE_DEFS,
+    FLOW_STAGES,
+    DesignServiceFlow,
+    FlowReport,
+    FlowStage,
+    flow_stage_order,
+)
 
-__all__ = ["DesignServiceFlow", "FlowReport"]
+__all__ = [
+    "FLOW_STAGE_DEFS",
+    "FLOW_STAGES",
+    "DesignServiceFlow",
+    "FlowReport",
+    "FlowStage",
+    "flow_stage_order",
+]

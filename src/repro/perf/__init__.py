@@ -24,6 +24,7 @@ from .metrics import (
 )
 from .executor import (
     WORKERS_ENV,
+    FanoutTaskError,
     fanout,
     resolve_workers,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "reset_metrics",
     "stage_timer",
     "WORKERS_ENV",
+    "FanoutTaskError",
     "fanout",
     "resolve_workers",
 ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
 
 from .metrics import REGISTRY
 
@@ -38,6 +38,41 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
+
+
+class FanoutTaskError(RuntimeError):
+    """One task of a fan-out failed; carries *which* one.
+
+    A bare exception out of ``pool.map`` loses the task it came from --
+    all the caller sees is a traceback re-raised in the parent.  When
+    ``fanout`` is given ``labels`` (or a ``stage``), worker exceptions
+    are re-raised as this type with the originating task's label and
+    the stage attached, and the original exception chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, label: str,
+                 stage: str | None = None) -> None:
+        super().__init__(message)
+        self.label = label
+        self.stage = stage
+
+
+def _guarded_call(
+    packed: tuple[Callable[[Any], Any], Any, str],
+) -> tuple[bool, Any]:
+    """Run one labelled task; capture the exception instead of raising.
+
+    Module-level so the tuple stream is picklable into pool workers.
+    Returns ``(True, result)`` or ``(False, (label, exception))`` --
+    the exception object itself travels back so the parent can chain
+    it under :class:`FanoutTaskError`.
+    """
+    worker, task, label = packed
+    try:
+        return True, worker(task)
+    except Exception as exc:  # noqa: BLE001 - re-raised labelled below
+        return False, (label, exc)
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -60,6 +95,7 @@ def fanout(
     *,
     workers: int | None = None,
     stage: str | None = None,
+    labels: Sequence[str] | None = None,
 ) -> list[_Result]:
     """Run ``worker`` over ``tasks``; results in task order.
 
@@ -68,22 +104,73 @@ def fanout(
     degrades to serial (identical results).  When ``stage`` is given
     the whole fan-out is timed on the perf registry with a ``tasks``
     counter.
+
+    When ``labels`` names the tasks (one string per task; defaults to
+    ``{stage}[{index}]`` when only ``stage`` is given), a worker exception
+    surfaces as :class:`FanoutTaskError` carrying the failing task's
+    label and the stage, with the original exception as its cause --
+    instead of a bare traceback that does not say which task died.
     """
     tasks = list(tasks)
     n_workers = min(resolve_workers(workers), len(tasks))
+    task_labels: list[str] | None = None
+    if labels is not None:
+        task_labels = [str(label) for label in labels]
+        if len(task_labels) != len(tasks):
+            raise ValueError(
+                f"labels/tasks length mismatch: {len(task_labels)} "
+                f"labels for {len(tasks)} tasks"
+            )
+    elif stage is not None:
+        task_labels = [f"{stage}[{index}]"
+                       for index in range(len(tasks))]
+
+    def _raise_labelled(label: str, exc: Exception) -> None:
+        where = f"stage {stage!r}, " if stage else ""
+        raise FanoutTaskError(
+            f"fanout task failed ({where}task {label!r}): "
+            f"{type(exc).__name__}: {exc}",
+            label=label, stage=stage,
+        ) from exc
+
+    def _run_serial() -> list[_Result]:
+        if task_labels is None:
+            return [worker(task) for task in tasks]
+        results = []
+        for task, label in zip(tasks, task_labels):
+            try:
+                results.append(worker(task))
+            except FanoutTaskError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - re-raised labelled
+                _raise_labelled(label, exc)
+        return results
 
     def _run() -> list[_Result]:
         if n_workers <= 1:
-            return [worker(task) for task in tasks]
+            return _run_serial()
         try:
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                return list(pool.map(worker, tasks))
+                if task_labels is None:
+                    return list(pool.map(worker, tasks))
+                outcomes = list(pool.map(
+                    _guarded_call,
+                    [(worker, task, label)
+                     for task, label in zip(tasks, task_labels)],
+                ))
         except (pickle.PicklingError, AttributeError, TypeError, OSError,
                 ImportError, BrokenProcessPool):
             # Unpicklable work or a restricted environment: the workers
             # are pure functions of their task, so a serial rerun is
             # safe and yields the same results.
-            return [worker(task) for task in tasks]
+            return _run_serial()
+        results = []
+        for ok, value in outcomes:
+            if not ok:
+                label, exc = value
+                _raise_labelled(label, exc)
+            results.append(value)
+        return results
 
     if stage is None:
         return _run()

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -242,22 +244,59 @@ class ArtifactStore:
 
     # -- persistence --------------------------------------------------
 
-    def save(self, path: str) -> None:
-        """Persist every entry (not the counters) as canonical JSON."""
+    def save(self, path: str, *, canonical: bool = False) -> None:
+        """Persist every entry (not the counters) as canonical JSON.
+
+        The write is atomic: the body lands in a temporary file in the
+        target directory first and is then :func:`os.replace`-d over
+        ``path``, so a concurrent :meth:`load` always sees one
+        writer's *complete* snapshot -- racing writers resolve to
+        last-writer-wins, never to an interleaved or truncated file.
+
+        ``canonical=True`` orders entries by content key instead of
+        recency, so two stores holding the same *set* of artifacts
+        serialize byte-identically no matter what operation order
+        built them (the service determinism ``cmp`` relies on this);
+        the default keeps recency order so a reloaded store resumes
+        the same LRU state.
+        """
+        entries = list(self._entries.items())
+        if canonical:
+            entries.sort()
         body = {
             "schema": STORE_SCHEMA_VERSION,
             "entries": [
                 [key, domain, payload]
-                for key, (domain, payload) in self._entries.items()
+                for key, (domain, payload) in entries
             ],
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(body, sort_keys=True, indent=1))
-            handle.write("\n")
+        directory = os.path.dirname(os.path.abspath(path))
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory, delete=False,
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+        )
+        try:
+            with handle:
+                handle.write(json.dumps(body, sort_keys=True, indent=1))
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str, *, max_entries: int = 0) -> "ArtifactStore":
-        """Load a persisted store; recency order is the saved order."""
+        """Load a persisted store; recency order is the saved order.
+
+        Because :meth:`save` replaces the file atomically, a load that
+        races concurrent writers returns the complete snapshot of
+        whichever writer last won the rename -- never a torn mix.
+        """
         with open(path, "r", encoding="utf-8") as handle:
             try:
                 body = json.load(handle)
